@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate the Figure 4 data series: construction time vs size.
+
+Usage::
+
+    python benchmarks/run_fig4.py          # sizes up to 256
+    python benchmarks/run_fig4.py --full   # QFT to 1023, DTC to 512
+
+Prints one row per (benchmark, size): OpenQudit seconds, baseline
+seconds, and the speedup — the series plotted in the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.baseline import (
+    build_dtc_circuit_baseline,
+    build_qft_circuit_baseline,
+)
+from repro.circuit import build_dtc_circuit, build_qft_circuit
+
+
+def timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the paper's full sizes (QFT 1023, DTC 512)",
+    )
+    args = parser.parse_args()
+
+    if args.full:
+        qft_sizes = [4, 8, 16, 32, 64, 128, 256, 512, 1023]
+        dtc_sizes = [4, 8, 16, 32, 64, 128, 256, 512]
+    else:
+        qft_sizes = [4, 8, 16, 32, 64, 128, 256]
+        dtc_sizes = [4, 8, 16, 32, 64, 128, 256]
+
+    print(f"{'benchmark':<12} {'n':>5} {'openqudit(s)':>13} "
+          f"{'baseline(s)':>12} {'speedup':>8}")
+    for n in qft_sizes:
+        fast = timed(build_qft_circuit, n)
+        slow = timed(build_qft_circuit_baseline, n)
+        print(f"{'QFT':<12} {n:>5} {fast:>13.4f} {slow:>12.4f} "
+              f"{slow / fast:>7.1f}x")
+    for n in dtc_sizes:
+        fast = timed(build_dtc_circuit, n, 1)
+        slow = timed(build_dtc_circuit_baseline, n, 1)
+        print(f"{'DTC':<12} {n:>5} {fast:>13.4f} {slow:>12.4f} "
+              f"{slow / fast:>7.1f}x")
+
+
+if __name__ == "__main__":
+    main()

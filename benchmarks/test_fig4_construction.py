@@ -1,0 +1,47 @@
+"""Figure 4: circuit construction time, OpenQudit vs the baseline.
+
+The paper builds QFT and DTC circuits at power-of-two sizes (QFT up to
+1023 qubits, DTC up to 512) and shows OpenQudit's expression caching
+beating per-append-validated frameworks by 4-18x.  The pytest harness
+covers sizes up to 256; ``python benchmarks/run_fig4.py --full``
+regenerates the full-size figure data.
+"""
+
+import pytest
+
+from repro.baseline import (
+    build_dtc_circuit_baseline,
+    build_qft_circuit_baseline,
+)
+from repro.circuit import build_dtc_circuit, build_qft_circuit
+
+QFT_SIZES = [16, 64, 256]
+DTC_SIZES = [16, 64, 256]
+
+
+@pytest.mark.parametrize("n", QFT_SIZES)
+def test_qft_construction_openqudit(benchmark, n):
+    benchmark.group = f"fig4-qft-{n}"
+    circ = benchmark(build_qft_circuit, n)
+    assert len(circ) == n * (n + 1) // 2 + n // 2
+
+
+@pytest.mark.parametrize("n", QFT_SIZES)
+def test_qft_construction_baseline(benchmark, n):
+    benchmark.group = f"fig4-qft-{n}"
+    circ = benchmark(build_qft_circuit_baseline, n)
+    assert len(circ) == n * (n + 1) // 2 + n // 2
+
+
+@pytest.mark.parametrize("n", DTC_SIZES)
+def test_dtc_construction_openqudit(benchmark, n):
+    benchmark.group = f"fig4-dtc-{n}"
+    circ = benchmark(build_dtc_circuit, n, 1)
+    assert len(circ) == 2 * n + (n - 1)
+
+
+@pytest.mark.parametrize("n", DTC_SIZES)
+def test_dtc_construction_baseline(benchmark, n):
+    benchmark.group = f"fig4-dtc-{n}"
+    circ = benchmark(build_dtc_circuit_baseline, n, 1)
+    assert len(circ) == 2 * n + (n - 1)

@@ -1,0 +1,53 @@
+"""Figure 6 (left): single-start instantiation time.
+
+One LM run per benchmark circuit against a reachable random target.
+OpenQudit timings include the full one-time AOT compilation + TNVM
+initialization, as in the paper; the baseline has no AOT phase.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline import (
+    BaselineInstantiater,
+    build_qsearch_ansatz_baseline,
+)
+from repro.circuit import FIG5_BENCHMARKS, fig5_circuit
+from repro.instantiation import Instantiater
+
+from .conftest import make_target
+
+NAMES = list(FIG5_BENCHMARKS)
+
+
+def openqudit_single_start(name: str, target: np.ndarray) -> float:
+    circ = fig5_circuit(name)
+    engine = Instantiater(circ)  # AOT, counted
+    return engine.instantiate(target, starts=1, rng=0).infidelity
+
+
+def baseline_single_start(name: str, target: np.ndarray) -> float:
+    qudits, depth, radix = FIG5_BENCHMARKS[name]
+    circ = build_qsearch_ansatz_baseline(qudits, depth, radix)
+    engine = BaselineInstantiater(circ)
+    return engine.instantiate(target, starts=1, rng=0).infidelity
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_single_start_openqudit(benchmark, name):
+    benchmark.group = f"fig6-{name}"
+    target = make_target(name, seed=7)
+    benchmark.pedantic(
+        openqudit_single_start, args=(name, target),
+        rounds=3, iterations=1,
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_single_start_baseline(benchmark, name):
+    benchmark.group = f"fig6-{name}"
+    target = make_target(name, seed=7)
+    benchmark.pedantic(
+        baseline_single_start, args=(name, target),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,56 @@
+"""Micro-benchmark: single U3 evaluation (paper section VII-A).
+
+The paper contrasts a JIT'd OpenQudit U3 evaluation (<100 ns native)
+with general frameworks (~6 us with JAX).  Here the JIT'd writer is
+compared against the traditional class-based ``get_unitary`` /
+``get_grad`` pair; absolute numbers differ in Python but the JIT'd
+straight-line form must win clearly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.gates import U3Gate
+from repro.circuit import gates
+
+PARAMS = (0.7, 0.3, -1.1)
+
+
+@pytest.fixture(scope="module")
+def compiled_u3():
+    return gates.u3().compiled(grad=True)
+
+
+def test_u3_eval_jit(benchmark, compiled_u3):
+    benchmark.group = "micro-u3-eval"
+    out = np.zeros((2, 2), dtype=np.complex128)
+    compiled_u3.write_constants(out)
+    write = compiled_u3.write
+    grad = np.zeros((3, 2, 2), dtype=np.complex128)
+    compiled_u3.write_constants(out, grad)
+    benchmark(write, PARAMS, out, grad)
+
+
+def test_u3_eval_baseline_class(benchmark):
+    benchmark.group = "micro-u3-eval"
+    gate = U3Gate()
+
+    def eval_both():
+        gate.get_unitary(PARAMS)
+        gate.get_grad(PARAMS)
+
+    benchmark(eval_both)
+
+
+def test_u3_unitary_only_jit(benchmark):
+    benchmark.group = "micro-u3-unitary"
+    compiled = gates.u3().compiled(grad=False)
+    out = np.zeros((2, 2), dtype=np.complex128)
+    compiled.write_constants(out)
+    benchmark(compiled.write, PARAMS, out)
+
+
+def test_u3_unitary_only_baseline(benchmark):
+    benchmark.group = "micro-u3-unitary"
+    gate = U3Gate()
+    benchmark(gate.get_unitary, PARAMS)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Extensibility demo: add a brand-new gate and synthesize with it.
+
+The paper's motivating scenario (section II-C): a domain expert wants
+their compiler to target a new native instruction.  In a traditional
+framework that means writing a gate class with a hand-derived
+analytical gradient (Listing 1).  With QGL it is one expression — the
+compiler derives the gradient symbolically, simplifies it with
+e-graphs, JIT-compiles it, and the instantiation engine can use it
+immediately.
+
+Here the new instruction is a Givens rotation with a tunable phase
+(an "fSim-like" gate common on superconducting hardware).
+
+Run:  python examples/custom_gate_synthesis.py
+"""
+
+import numpy as np
+
+from repro import Instantiater, QuditCircuit, UnitaryExpression, gates
+from repro.utils import hilbert_schmidt_infidelity, random_unitary
+
+
+def main() -> None:
+    # A new two-qubit instruction, defined symbolically in one shot.
+    fsim_like = UnitaryExpression(
+        """FSIM(theta, phi) {
+            [[1, 0, 0, 0],
+             [0, cos(theta), ~i*sin(theta), 0],
+             [0, ~i*sin(theta), cos(theta), 0],
+             [0, 0, 0, e^(~i*phi)]]
+        }"""
+    )
+    print(f"new instruction: {fsim_like.name}"
+          f"({', '.join(fsim_like.params)})")
+
+    # Peek at what the expression JIT produced for it: the analytical
+    # gradient was derived and simplified automatically.
+    compiled = fsim_like.compiled(grad=True)
+    print(f"JIT cost (Table I units): {compiled.total_cost:.1f}")
+    print(f"dynamic entries: {compiled.num_dynamic_entries}, "
+          f"constant entries: {compiled.num_constant_entries}")
+
+    # Build a QSearch-style ansatz over the new gate set.
+    circ = QuditCircuit.pure([2, 2])
+    u3_ref = circ.cache_operation(gates.u3())
+    fsim_ref = circ.cache_operation(fsim_like)
+    circ.append_ref(u3_ref, 0)
+    circ.append_ref(u3_ref, 1)
+    circ.append_ref(fsim_ref, (0, 1))
+    circ.append_ref(u3_ref, 0)
+    circ.append_ref(u3_ref, 1)
+    circ.append_ref(fsim_ref, (0, 1))
+    circ.append_ref(u3_ref, 0)
+    circ.append_ref(u3_ref, 1)
+    circ.append_ref(fsim_ref, (0, 1))
+    circ.append_ref(u3_ref, 0)
+    circ.append_ref(u3_ref, 1)
+    print(f"\nansatz: {len(circ)} gates, {circ.num_params} parameters")
+
+    # Synthesize a Haar-random two-qubit unitary with it.
+    target = random_unitary(4, rng=42)
+    engine = Instantiater(circ)
+    print(f"AOT compile + TNVM init: {engine.aot_seconds * 1e3:.1f} ms")
+
+    result = engine.instantiate(target, starts=8, rng=0)
+    print(f"\ninstantiation: {result.starts_used} start(s), "
+          f"{result.total_evaluations} evaluations, "
+          f"{result.optimize_seconds * 1e3:.1f} ms")
+    print(f"final infidelity: {result.infidelity:.2e} "
+          f"(success: {result.success})")
+
+    synthesized = circ.get_unitary(result.params)
+    check = hilbert_schmidt_infidelity(target, synthesized)
+    print(f"independent check of Eq. (1): {check:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Qudit workflow: synthesize qutrit circuits (the paper's Figure 5
+qutrit benchmarks, and the reason the framework is called OpenQudit).
+
+Traditional compilers are hard to extend to qudits because the
+analytical gradients grow hairy with dimension (section II-C).  In QGL
+a qutrit gate is declared with ``<3>`` radices and everything else —
+differentiation, simplification, JIT, tensor-network compilation with
+dimension-3 wires, instantiation — follows automatically.
+
+Run:  python examples/qutrit_synthesis.py
+"""
+
+import numpy as np
+
+from repro import Instantiater, QuditCircuit, UnitaryExpression, gates
+from repro.utils import Statevector
+
+
+def build_qutrit_ansatz(n: int, blocks: int) -> QuditCircuit:
+    """CSUM + single-qutrit rotations, mirroring the Figure 5 qutrit
+    circuits but with embedded-U3 rotations for full expressivity."""
+    circ = QuditCircuit.qutrits(n)
+    r01 = circ.cache_operation(gates.embedded_u3(3, 0, 1))
+    r12 = circ.cache_operation(gates.embedded_u3(3, 1, 2))
+    csum = circ.cache_operation(gates.csum(3))
+    for q in range(n):
+        circ.append_ref(r01, q)
+        circ.append_ref(r12, q)
+    pairs = [(q, q + 1) for q in range(n - 1)]
+    for b in range(blocks):
+        a, c = pairs[b % len(pairs)]
+        circ.append_ref(csum, (a, c))
+        for q in (a, c):
+            circ.append_ref(r01, q)
+            circ.append_ref(r12, q)
+    return circ
+
+
+def main() -> None:
+    # A custom qutrit gate straight from QGL: note the <3> radix.
+    chrestenson_like = UnitaryExpression(
+        """CH3<3>() {
+            (1/sqrt(3)) * [[1, 1, 1],
+                           [1, e^(i*2*pi/3), e^(~i*2*pi/3)],
+                           [1, e^(~i*2*pi/3), e^(i*2*pi/3)]]
+        }"""
+    )
+    print(f"defined {chrestenson_like.name} on radices "
+          f"{chrestenson_like.radices}")
+
+    # Target: a small qutrit program using that gate plus CSUM.
+    prog = QuditCircuit.qutrits(2)
+    ch = prog.cache_operation(chrestenson_like)
+    cs = prog.cache_operation(gates.csum(3))
+    p3 = prog.cache_operation(gates.qutrit_phase())
+    prog.append_ref(ch, 0)
+    prog.append_ref_constant(cs, (0, 1))
+    prog.append_ref_constant(p3, 1, (0.7, -0.4))
+    target = prog.get_unitary(())
+    print(f"target program: {len(prog)} gates over 2 qutrits "
+          f"(dim {prog.dim})")
+
+    # Resynthesize it into the CSUM + embedded-U3 gate set.
+    ansatz = build_qutrit_ansatz(2, blocks=3)
+    print(f"ansatz: {len(ansatz)} gates, {ansatz.num_params} parameters")
+    engine = Instantiater(ansatz)
+    result = engine.instantiate(target, starts=8, rng=7)
+    print(f"instantiation: infidelity {result.infidelity:.2e}, "
+          f"success {result.success}, {result.starts_used} start(s), "
+          f"{result.optimize_seconds:.2f}s")
+
+    # Behavioural check: both programs act identically on |00>.
+    synth = ansatz.get_unitary(result.params)
+    sv_t = Statevector([3, 3]).apply_unitary(target)
+    sv_s = Statevector([3, 3]).apply_unitary(synth)
+    print(f"state fidelity on |00>: {sv_t.fidelity(sv_s):.9f}")
+
+
+if __name__ == "__main__":
+    main()

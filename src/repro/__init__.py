@@ -1,0 +1,78 @@
+"""OpenQudit reproduction: extensible and accelerated numerical quantum
+compilation via a JIT-compiled DSL (CGO 2026), implemented in Python.
+
+Public API tour::
+
+    from repro import UnitaryExpression, QuditCircuit, TNVM, instantiate
+
+    # 1. Define gate semantics once, in QGL (paper Listing 2).
+    rx = UnitaryExpression('''RX(theta) {
+        [[cos(theta/2), ~i*sin(theta/2)],
+         [~i*sin(theta/2), cos(theta/2)]]
+    }''')
+
+    # 2. Build a PQC with cached expressions (paper Listing 4).
+    circ = QuditCircuit.pure([2, 2])
+    ref = circ.cache_operation(rx)
+    circ.append_ref(ref, 0)
+
+    # 3. AOT-compile and evaluate through the TNVM (paper Listing 3).
+    code = circ.compile()
+    vm = TNVM(code)
+    unitary, grad = vm.evaluate_with_grad([0.5])
+
+    # 4. Or run the full instantiation engine.
+    result = instantiate(circ, target, starts=8)
+
+Subpackages: ``qgl`` (the DSL front end), ``symbolic`` (IR +
+differentiation), ``egraph`` (equality saturation), ``jit`` (expression
+compilation + cache), ``tensornet`` (AOT compiler), ``tnvm`` (runtime),
+``circuit`` (gate library + builders), ``instantiation`` (LM engine),
+``baseline`` (the traditional comparator framework), ``utils``.
+"""
+
+from .circuit import (
+    FIG5_BENCHMARKS,
+    QuditCircuit,
+    build_dtc_circuit,
+    build_qft_circuit,
+    build_qsearch_ansatz,
+    fig5_circuit,
+    gates,
+)
+from .expression import UnitaryExpression
+from .instantiation import (
+    Instantiater,
+    InstantiationResult,
+    LMOptions,
+    instantiate,
+)
+from .jit import ExpressionCache, global_cache
+from .tensornet import compile_network
+from .tnvm import TNVM, Differentiation
+from .utils import hilbert_schmidt_infidelity, random_unitary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UnitaryExpression",
+    "QuditCircuit",
+    "TNVM",
+    "Differentiation",
+    "compile_network",
+    "ExpressionCache",
+    "global_cache",
+    "Instantiater",
+    "InstantiationResult",
+    "LMOptions",
+    "instantiate",
+    "gates",
+    "build_qft_circuit",
+    "build_dtc_circuit",
+    "build_qsearch_ansatz",
+    "fig5_circuit",
+    "FIG5_BENCHMARKS",
+    "random_unitary",
+    "hilbert_schmidt_infidelity",
+    "__version__",
+]

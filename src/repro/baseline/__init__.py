@@ -1,0 +1,28 @@
+"""The baseline (traditional, Listing-1-style) compiler framework."""
+
+from . import gates
+from .builders import (
+    build_dtc_circuit_baseline,
+    build_qft_circuit_baseline,
+    build_qsearch_ansatz_baseline,
+)
+from .circuit import BaselineCircuit, BaselineOperation
+from .evaluator import DenseEvaluator, embed
+from .gate import ConstantGate, DifferentiableUnitary, Gate
+from .instantiation import BaselineInstantiater, BaselineResiduals
+
+__all__ = [
+    "Gate",
+    "DifferentiableUnitary",
+    "ConstantGate",
+    "gates",
+    "BaselineCircuit",
+    "BaselineOperation",
+    "DenseEvaluator",
+    "embed",
+    "BaselineInstantiater",
+    "BaselineResiduals",
+    "build_qft_circuit_baseline",
+    "build_dtc_circuit_baseline",
+    "build_qsearch_ansatz_baseline",
+]

@@ -1,0 +1,88 @@
+"""Baseline-framework versions of the benchmark circuits.
+
+These mirror :mod:`repro.circuit.builders` gate-for-gate so the
+Figure 4/6/7 benchmarks compare identical workloads across the two
+frameworks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import gates as G
+from .circuit import BaselineCircuit
+
+__all__ = [
+    "build_qft_circuit_baseline",
+    "build_dtc_circuit_baseline",
+    "build_qsearch_ansatz_baseline",
+]
+
+_H = G.HGate()
+_CP = G.CPGate()
+_SWAP = G.SwapGate()
+_RX = G.RXGate()
+_RZ = G.RZGate()
+_RZZ = G.RZZGate()
+_U3 = G.U3Gate()
+_CX = G.CXGate()
+_P3 = G.QutritPhaseGate()
+_CSUM = G.CSUMGate()
+
+
+def build_qft_circuit_baseline(
+    n: int, include_swaps: bool = True
+) -> BaselineCircuit:
+    circ = BaselineCircuit([2] * n)
+    for target in range(n):
+        circ.append_gate(_H, target, ())
+        for control in range(target + 1, n):
+            angle = math.pi / (2 ** (control - target))
+            circ.append_gate(_CP, (control, target), (angle,))
+    if include_swaps:
+        for q in range(n // 2):
+            circ.append_gate(_SWAP, (q, n - 1 - q), ())
+    return circ
+
+
+def build_dtc_circuit_baseline(
+    n: int, layers: int = 1, g: float = 0.95, seed: int = 0
+) -> BaselineCircuit:
+    rng = np.random.default_rng(seed)
+    circ = BaselineCircuit([2] * n)
+    for _ in range(layers):
+        for q in range(n):
+            circ.append_gate(_RX, q, (g * math.pi,))
+        for start in (0, 1):
+            for q in range(start, n - 1, 2):
+                theta = float(rng.uniform(math.pi / 16, 3 * math.pi / 16))
+                circ.append_gate(_RZZ, (q, q + 1), (theta,))
+        for q in range(n):
+            phi = float(rng.uniform(-math.pi, math.pi))
+            circ.append_gate(_RZ, q, (phi,))
+    return circ
+
+
+def build_qsearch_ansatz_baseline(
+    num_qudits: int, depth: int, radix: int = 2
+) -> BaselineCircuit:
+    if radix == 2:
+        single, entangler = _U3, _CX
+    elif radix == 3:
+        single, entangler = _P3, _CSUM
+    else:
+        raise ValueError("baseline ansatz supports radix 2 and 3")
+    circ = BaselineCircuit([radix] * num_qudits)
+    for q in range(num_qudits):
+        circ.append_gate(single, q, parameterized=True)
+    if num_qudits == 1:
+        return circ
+    pairs = [(q, q + 1) for q in range(num_qudits - 1)]
+    for block in range(depth):
+        a, b = pairs[block % len(pairs)]
+        circ.append_gate(entangler, (a, b), ())
+        circ.append_gate(single, a, parameterized=True)
+        circ.append_gate(single, b, parameterized=True)
+    return circ

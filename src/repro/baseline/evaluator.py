@@ -1,0 +1,112 @@
+"""Dense unitary and gradient evaluation (the traditional pipeline).
+
+The circuit unitary is accumulated by expanding each gate to the full
+Hilbert-space dimension and left-multiplying; gradients use the
+prefix/suffix product chain rule
+
+    ``dU/dtheta = R_k · dG_k · L_{k-1}``
+
+where ``L``/``R`` are products of the gates before/after gate ``k``.
+Every evaluation rebuilds each gate matrix from scratch with NumPy
+scalar trigonometry and re-embeds it — the per-iteration work that the
+TNVM's specialized bytecode avoids.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .circuit import BaselineCircuit
+
+__all__ = ["embed", "DenseEvaluator"]
+
+
+def embed(
+    matrix: np.ndarray,
+    location: tuple[int, ...],
+    radices: tuple[int, ...],
+) -> np.ndarray:
+    """Expand a gate matrix to the full system dimension.
+
+    Tensor the gate with identity on the untouched wires and permute
+    axes into wire order.
+    """
+    n = len(radices)
+    rest = [q for q in range(n) if q not in location]
+    rest_dim = math.prod(radices[q] for q in rest) if rest else 1
+    full = np.kron(matrix, np.eye(rest_dim, dtype=matrix.dtype))
+    order = list(location) + rest
+    shape = tuple(radices[q] for q in order) * 2
+    tensor = full.reshape(shape)
+    perm = [order.index(q) for q in range(n)]
+    perm = perm + [p + n for p in perm]
+    dim = math.prod(radices)
+    return tensor.transpose(perm).reshape(dim, dim)
+
+
+class DenseEvaluator:
+    """Unitary/gradient evaluation for a :class:`BaselineCircuit`."""
+
+    def __init__(self, circuit: BaselineCircuit):
+        self.circuit = circuit
+        self.dim = circuit.dim
+
+    # ------------------------------------------------------------------
+    def _gate_params(self, op, params: np.ndarray) -> tuple[float, ...]:
+        if op.is_parameterized:
+            return tuple(params[j] for j in op.param_indices)
+        return op.params
+
+    def get_unitary(self, params: np.ndarray = ()) -> np.ndarray:
+        params = np.asarray(params, dtype=np.float64)
+        u = np.eye(self.dim, dtype=np.complex128)
+        for op in self.circuit.operations:
+            g = op.gate.get_unitary(self._gate_params(op, params))
+            u = embed(g, op.location, self.circuit.radices) @ u
+        return u
+
+    def get_unitary_and_grad(
+        self, params: np.ndarray = ()
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Full unitary and gradient of shape ``(P, D, D)``."""
+        params = np.asarray(params, dtype=np.float64)
+        ops = self.circuit.operations
+        n_ops = len(ops)
+        dim = self.dim
+
+        full_gates: list[np.ndarray] = []
+        for op in ops:
+            g = op.gate.get_unitary(self._gate_params(op, params))
+            full_gates.append(embed(g, op.location, self.circuit.radices))
+
+        # Prefix products L[k] = G_k ... G_1 (L[0] = I).
+        prefixes = [np.eye(dim, dtype=np.complex128)]
+        for g in full_gates:
+            prefixes.append(g @ prefixes[-1])
+        # Suffix products R[k] = G_m ... G_{k+1} (R[m] = I).
+        suffixes = [np.eye(dim, dtype=np.complex128)] * (n_ops + 1)
+        acc = np.eye(dim, dtype=np.complex128)
+        for k in range(n_ops - 1, -1, -1):
+            suffixes[k] = acc = acc @ full_gates[k]
+        # suffixes[k] currently holds G_m ... G_k; shift so that
+        # R_k = G_m ... G_{k+1}:
+        suffix_after = [
+            suffixes[k + 1] if k + 1 <= n_ops else None
+            for k in range(n_ops)
+        ]
+
+        grad = np.zeros(
+            (self.circuit.num_params, dim, dim), dtype=np.complex128
+        )
+        for k, op in enumerate(ops):
+            if not op.is_parameterized:
+                continue
+            gate_grad = op.gate.get_grad(self._gate_params(op, params))
+            for slot, j in enumerate(op.param_indices):
+                dg = embed(
+                    gate_grad[slot], op.location, self.circuit.radices
+                )
+                grad[j] += suffix_after[k] @ dg @ prefixes[k]
+        return prefixes[-1], grad

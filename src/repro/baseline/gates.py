@@ -1,0 +1,329 @@
+"""The baseline gate set, with hand-derived analytical gradients.
+
+Each class follows the paper's Listing 1 verbatim pattern: boilerplate,
+a ``get_unitary`` building the matrix with NumPy scalar trigonometry,
+and a manually-derived ``get_grad``.  The length and delicacy of this
+file *is the point* — it is the extensibility burden QGL removes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from .gate import ConstantGate, DifferentiableUnitary, Gate
+
+__all__ = [
+    "U1Gate", "U2Gate", "U3Gate", "RXGate", "RYGate", "RZGate",
+    "RZZGate", "PhaseGate", "HGate", "XGate", "YGate", "ZGate",
+    "SGate", "TGate", "CXGate", "CZGate", "CPGate", "SwapGate",
+    "CSUMGate", "QutritPhaseGate",
+]
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+
+class U3Gate(Gate, DifferentiableUnitary):
+    """The paper's Listing 1 example, reproduced faithfully."""
+
+    _num_qudits = 1
+    _num_params = 3
+    _radices = (2,)
+    _qasm_name = "u3"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        ct = np.cos(params[0] / 2)
+        st = np.sin(params[0] / 2)
+        cp = np.cos(params[1])
+        sp = np.sin(params[1])
+        cl = np.cos(params[2])
+        sl = np.sin(params[2])
+        el = cl + 1j * sl
+        ep = cp + 1j * sp
+        return np.array(
+            [
+                [ct, -el * st],
+                [ep * st, ep * el * ct],
+            ],
+            dtype=np.complex128,
+        )
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        ct = np.cos(params[0] / 2)
+        st = np.sin(params[0] / 2)
+        cp = np.cos(params[1])
+        sp = np.sin(params[1])
+        cl = np.cos(params[2])
+        sl = np.sin(params[2])
+        el = cl + 1j * sl
+        ep = cp + 1j * sp
+        del_ = -sl + 1j * cl
+        dep_ = -sp + 1j * cp
+        return np.array(
+            [
+                [
+                    [-0.5 * st, -0.5 * ct * el],
+                    [0.5 * ct * ep, -0.5 * st * el * ep],
+                ],
+                [
+                    [0, 0],
+                    [st * dep_, ct * el * dep_],
+                ],
+                [
+                    [0, -st * del_],
+                    [0, ct * ep * del_],
+                ],
+            ],
+            dtype=np.complex128,
+        )
+
+
+class U2Gate(Gate, DifferentiableUnitary):
+    _num_qudits = 1
+    _num_params = 2
+    _radices = (2,)
+    _qasm_name = "u2"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        ep = np.exp(1j * params[0])
+        el = np.exp(1j * params[1])
+        return _SQ2 * np.array(
+            [[1, -el], [ep, ep * el]], dtype=np.complex128
+        )
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        ep = np.exp(1j * params[0])
+        el = np.exp(1j * params[1])
+        return _SQ2 * np.array(
+            [
+                [[0, 0], [1j * ep, 1j * ep * el]],
+                [[0, -1j * el], [0, 1j * ep * el]],
+            ],
+            dtype=np.complex128,
+        )
+
+
+class U1Gate(Gate, DifferentiableUnitary):
+    _num_qudits = 1
+    _num_params = 1
+    _radices = (2,)
+    _qasm_name = "u1"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        return np.array(
+            [[1, 0], [0, np.exp(1j * params[0])]], dtype=np.complex128
+        )
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        return np.array(
+            [[[0, 0], [0, 1j * np.exp(1j * params[0])]]],
+            dtype=np.complex128,
+        )
+
+
+class PhaseGate(U1Gate):
+    _qasm_name = "p"
+
+
+class RXGate(Gate, DifferentiableUnitary):
+    _num_qudits = 1
+    _num_params = 1
+    _radices = (2,)
+    _qasm_name = "rx"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        c = np.cos(params[0] / 2)
+        s = -1j * np.sin(params[0] / 2)
+        return np.array([[c, s], [s, c]], dtype=np.complex128)
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        dc = -0.5 * np.sin(params[0] / 2)
+        ds = -0.5j * np.cos(params[0] / 2)
+        return np.array([[[dc, ds], [ds, dc]]], dtype=np.complex128)
+
+
+class RYGate(Gate, DifferentiableUnitary):
+    _num_qudits = 1
+    _num_params = 1
+    _radices = (2,)
+    _qasm_name = "ry"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        c = np.cos(params[0] / 2)
+        s = np.sin(params[0] / 2)
+        return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        dc = -0.5 * np.sin(params[0] / 2)
+        ds = 0.5 * np.cos(params[0] / 2)
+        return np.array([[[dc, -ds], [ds, dc]]], dtype=np.complex128)
+
+
+class RZGate(Gate, DifferentiableUnitary):
+    _num_qudits = 1
+    _num_params = 1
+    _radices = (2,)
+    _qasm_name = "rz"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        em = np.exp(-0.5j * params[0])
+        ep = np.exp(0.5j * params[0])
+        return np.array([[em, 0], [0, ep]], dtype=np.complex128)
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        em = np.exp(-0.5j * params[0])
+        ep = np.exp(0.5j * params[0])
+        return np.array(
+            [[[-0.5j * em, 0], [0, 0.5j * ep]]], dtype=np.complex128
+        )
+
+
+class RZZGate(Gate, DifferentiableUnitary):
+    _num_qudits = 2
+    _num_params = 1
+    _radices = (2, 2)
+    _qasm_name = "rzz"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        em = np.exp(-0.5j * params[0])
+        ep = np.exp(0.5j * params[0])
+        return np.diag([em, ep, ep, em]).astype(np.complex128)
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        em = -0.5j * np.exp(-0.5j * params[0])
+        ep = 0.5j * np.exp(0.5j * params[0])
+        return np.diag([em, ep, ep, em]).astype(np.complex128)[None]
+
+
+class CPGate(Gate, DifferentiableUnitary):
+    _num_qudits = 2
+    _num_params = 1
+    _radices = (2, 2)
+    _qasm_name = "cp"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        return np.diag(
+            [1, 1, 1, np.exp(1j * params[0])]
+        ).astype(np.complex128)
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        return np.diag(
+            [0, 0, 0, 1j * np.exp(1j * params[0])]
+        ).astype(np.complex128)[None]
+
+
+class HGate(ConstantGate):
+    _qasm_name = "h"
+    _matrix = _SQ2 * np.array([[1, 1], [1, -1]], dtype=np.complex128)
+
+
+class XGate(ConstantGate):
+    _qasm_name = "x"
+    _matrix = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+
+
+class YGate(ConstantGate):
+    _qasm_name = "y"
+    _matrix = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+
+
+class ZGate(ConstantGate):
+    _qasm_name = "z"
+    _matrix = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+
+class SGate(ConstantGate):
+    _qasm_name = "s"
+    _matrix = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+
+
+class TGate(ConstantGate):
+    _qasm_name = "t"
+    _matrix = np.array(
+        [[1, 0], [0, np.exp(0.25j * np.pi)]], dtype=np.complex128
+    )
+
+
+class CXGate(ConstantGate):
+    _num_qudits = 2
+    _radices = (2, 2)
+    _qasm_name = "cx"
+    _matrix = np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+        dtype=np.complex128,
+    )
+
+
+class CZGate(ConstantGate):
+    _num_qudits = 2
+    _radices = (2, 2)
+    _qasm_name = "cz"
+    _matrix = np.diag([1, 1, 1, -1]).astype(np.complex128)
+
+
+class SwapGate(ConstantGate):
+    _num_qudits = 2
+    _radices = (2, 2)
+    _qasm_name = "swap"
+    _matrix = np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+        dtype=np.complex128,
+    )
+
+
+def _csum_matrix(d: int) -> np.ndarray:
+    m = np.zeros((d * d, d * d), dtype=np.complex128)
+    for i in range(d):
+        for j in range(d):
+            m[i * d + (i + j) % d, i * d + j] = 1.0
+    return m
+
+
+class CSUMGate(ConstantGate):
+    """Qutrit controlled-sum."""
+
+    _num_qudits = 2
+    _radices = (3, 3)
+    _qasm_name = "csum"
+    _matrix = _csum_matrix(3)
+
+
+class QutritPhaseGate(Gate, DifferentiableUnitary):
+    _num_qudits = 1
+    _num_params = 2
+    _radices = (3,)
+    _qasm_name = "p3"
+
+    def get_unitary(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        return np.diag(
+            [1, np.exp(1j * params[0]), np.exp(1j * params[1])]
+        ).astype(np.complex128)
+
+    def get_grad(self, params: Sequence[float] = ()) -> np.ndarray:
+        self.check_params(params)
+        g0 = np.diag(
+            [0, 1j * np.exp(1j * params[0]), 0]
+        ).astype(np.complex128)
+        g1 = np.diag(
+            [0, 0, 1j * np.exp(1j * params[1])]
+        ).astype(np.complex128)
+        return np.stack([g0, g1])

@@ -1,0 +1,22 @@
+"""The OpenQudit circuit library: circuits, gates, benchmark builders."""
+
+from . import gates
+from .builders import (
+    FIG5_BENCHMARKS,
+    build_dtc_circuit,
+    build_qft_circuit,
+    build_qsearch_ansatz,
+    fig5_circuit,
+)
+from .circuit import Operation, QuditCircuit
+
+__all__ = [
+    "QuditCircuit",
+    "Operation",
+    "gates",
+    "build_qft_circuit",
+    "build_dtc_circuit",
+    "build_qsearch_ansatz",
+    "fig5_circuit",
+    "FIG5_BENCHMARKS",
+]

@@ -1,0 +1,315 @@
+"""QuditCircuit: the OpenQudit circuit representation.
+
+The central performance idea (paper section V-B) is *expression
+caching*: a gate's semantics are defined with QGL once, validated once
+at :meth:`QuditCircuit.cache_operation` time, and thereafter appended to
+the circuit via a lightweight integer reference — avoiding the repeated
+per-append safety and equality checks that dominate construction time in
+traditional frameworks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..expression import UnitaryExpression
+from ..jit.cache import ExpressionCache, canonical_key, global_cache
+from ..symbolic.matrix import ExpressionMatrix
+from ..tensornet.bytecode import Program
+from ..tensornet.compiler import compile_network
+from ..tensornet.network import ParamSlot, TensorNetwork
+
+__all__ = ["Operation", "QuditCircuit"]
+
+
+class Operation:
+    """One placed gate: an expression reference, location, and slots."""
+
+    __slots__ = ("ref", "location", "slots")
+
+    def __init__(
+        self, ref: int, location: tuple[int, ...], slots: tuple[ParamSlot, ...]
+    ):
+        self.ref = ref
+        self.location = location
+        self.slots = slots
+
+    def __repr__(self) -> str:
+        return f"Operation(ref={self.ref}, loc={self.location})"
+
+
+class QuditCircuit:
+    """A parameterized quantum circuit over qudits of mixed radices."""
+
+    def __init__(self, radices: Sequence[int] | int):
+        if isinstance(radices, int):
+            raise TypeError(
+                "pass explicit radices, e.g. QuditCircuit([2]*n) or "
+                "QuditCircuit.pure(n)"
+            )
+        self.radices: tuple[int, ...] = tuple(int(r) for r in radices)
+        if any(r < 2 for r in self.radices):
+            raise ValueError("every radix must be >= 2")
+        self._expressions: list[ExpressionMatrix] = []
+        self._expr_keys: dict[tuple, int] = {}
+        self._ops: list[Operation] = []
+        self._num_params = 0
+        self._version = 0
+        self._vm_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def pure(radices: Sequence[int]) -> "QuditCircuit":
+        """Mirror of the paper's ``QuditCircuit::pure(vec![2; n])``."""
+        return QuditCircuit(radices)
+
+    @staticmethod
+    def qubits(n: int) -> "QuditCircuit":
+        return QuditCircuit([2] * n)
+
+    @staticmethod
+    def qutrits(n: int) -> "QuditCircuit":
+        return QuditCircuit([3] * n)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_qudits(self) -> int:
+        return len(self.radices)
+
+    @property
+    def dim(self) -> int:
+        d = 1
+        for r in self.radices:
+            d *= r
+        return d
+
+    @property
+    def num_params(self) -> int:
+        return self._num_params
+
+    @property
+    def num_operations(self) -> int:
+        return len(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def depth(self) -> int:
+        """Circuit depth: longest wire-respecting chain of gates."""
+        level = [0] * self.num_qudits
+        for op in self._ops:
+            start = max(level[q] for q in op.location)
+            for q in op.location:
+                level[q] = start + 1
+        return max(level, default=0)
+
+    def gate_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for op in self._ops:
+            name = self._expressions[op.ref].name or f"expr{op.ref}"
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Expression caching (the fast-construction mechanism)
+    # ------------------------------------------------------------------
+    def cache_operation(
+        self,
+        expression: UnitaryExpression | ExpressionMatrix,
+        check: bool = True,
+    ) -> int:
+        """Validate an expression once and return an integer reference.
+
+        The validation (squareness, radix compatibility and a numeric
+        unitarity spot-check) is the costly-but-necessary work that
+        traditional frameworks repeat on every append; here it happens
+        exactly once per distinct expression.
+        """
+        matrix = (
+            expression.matrix
+            if isinstance(expression, UnitaryExpression)
+            else expression
+        )
+        key = canonical_key(matrix, grad=False, simplify=False)
+        cached = self._expr_keys.get(key)
+        if cached is not None:
+            return cached
+        if check:
+            if matrix.shape[0] != matrix.shape[1]:
+                raise ValueError("gate expressions must be square")
+            if not matrix.radices:
+                raise ValueError("gate expressions must carry radices")
+            rng = np.random.default_rng(matrix.num_params or 1)
+            probe = rng.uniform(-np.pi, np.pi, matrix.num_params)
+            if not matrix.is_unitary(probe, tol=1e-7):
+                raise ValueError(
+                    f"expression {matrix.name or '?'} is not unitary"
+                )
+        ref = len(self._expressions)
+        self._expressions.append(matrix)
+        self._expr_keys[key] = ref
+        return ref
+
+    def expression(self, ref: int) -> ExpressionMatrix:
+        return self._expressions[ref]
+
+    # ------------------------------------------------------------------
+    # Appending gates
+    # ------------------------------------------------------------------
+    def append_ref(
+        self, ref: int, location: Sequence[int] | int
+    ) -> tuple[int, ...]:
+        """Append by reference with *fresh* circuit parameters.
+
+        Returns the indices of the newly-allocated circuit parameters.
+        """
+        expr = self._expressions[ref]
+        new = tuple(
+            range(self._num_params, self._num_params + expr.num_params)
+        )
+        slots = tuple(ParamSlot.param(j) for j in new)
+        self._append(ref, location, slots)
+        self._num_params += expr.num_params
+        return new
+
+    def append_ref_constant(
+        self,
+        ref: int,
+        location: Sequence[int] | int,
+        values: Sequence[float] = (),
+    ) -> None:
+        """Append by reference with all parameters fixed to constants
+        (paper Listing 4's ``append_ref_constant``)."""
+        expr = self._expressions[ref]
+        if len(values) != expr.num_params:
+            raise ValueError(
+                f"{expr.name or 'gate'} expects {expr.num_params} values, "
+                f"got {len(values)}"
+            )
+        slots = tuple(ParamSlot.const(v) for v in values)
+        self._append(ref, location, slots)
+
+    def append_ref_bound(
+        self,
+        ref: int,
+        location: Sequence[int] | int,
+        slots: Sequence[ParamSlot],
+    ) -> None:
+        """Append with explicit slot bindings (share or fix parameters)."""
+        expr = self._expressions[ref]
+        if len(slots) != expr.num_params:
+            raise ValueError("slot arity mismatch")
+        for slot in slots:
+            if slot.kind == "param" and not 0 <= slot.index < self._num_params:
+                raise ValueError(
+                    f"slot references unknown circuit parameter {slot.index}"
+                )
+        self._append(ref, location, tuple(slots))
+
+    def append(
+        self,
+        expression: UnitaryExpression | ExpressionMatrix,
+        location: Sequence[int] | int,
+        values: Sequence[float] | None = None,
+    ) -> int:
+        """Convenience: cache (if new) and append in one call."""
+        ref = self.cache_operation(expression)
+        if values is None:
+            self.append_ref(ref, location)
+        else:
+            self.append_ref_constant(ref, location, values)
+        return ref
+
+    def _append(
+        self,
+        ref: int,
+        location: Sequence[int] | int,
+        slots: tuple[ParamSlot, ...],
+    ) -> None:
+        if isinstance(location, int):
+            location = (location,)
+        location = tuple(int(q) for q in location)
+        expr = self._expressions[ref]
+        if len(location) != expr.num_qudits:
+            raise ValueError(
+                f"{expr.name or 'gate'} acts on {expr.num_qudits} qudits, "
+                f"location {location} names {len(location)}"
+            )
+        for q, r in zip(location, expr.radices):
+            if not 0 <= q < self.num_qudits:
+                raise ValueError(f"qudit {q} out of range")
+            if self.radices[q] != r:
+                raise ValueError(
+                    f"gate radix {r} incompatible with wire {q} "
+                    f"(radix {self.radices[q]})"
+                )
+        self._ops.append(Operation(ref, location, slots))
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Lowering and evaluation
+    # ------------------------------------------------------------------
+    def to_tensor_network(self) -> TensorNetwork:
+        """Lower to the tensor-network representation (paper IV-A)."""
+        operations = [
+            (self._expressions[op.ref], op.location, op.slots)
+            for op in self._ops
+        ]
+        return TensorNetwork.from_operations(
+            self.radices, operations, self._num_params
+        )
+
+    def compile(
+        self,
+        fusion: bool = True,
+        hoist_constants: bool = True,
+        path_strategy: str = "auto",
+    ) -> Program:
+        """AOT-compile to TNVM bytecode.
+
+        The keyword flags mirror :func:`repro.tensornet.compile_network`
+        and exist for the ablation benchmarks.
+        """
+        return compile_network(
+            self.to_tensor_network(),
+            fusion=fusion,
+            hoist_constants=hoist_constants,
+            path_strategy=path_strategy,
+        )
+
+    def get_unitary(
+        self,
+        params: Sequence[float] = (),
+        precision: str = "f64",
+        cache: ExpressionCache | None = None,
+    ) -> np.ndarray:
+        """Evaluate the circuit unitary through a (memoized) TNVM."""
+        from ..tnvm.vm import TNVM, Differentiation
+
+        key = (self._version, precision)
+        vm = self._vm_cache.get(key)
+        if vm is None:
+            self._vm_cache.clear()
+            vm = TNVM(
+                self.compile(),
+                precision=precision,
+                diff=Differentiation.NONE,
+                cache=cache,
+            )
+            self._vm_cache[key] = vm
+        return vm.evaluate(tuple(params)).copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"<QuditCircuit radices={list(self.radices)} "
+            f"ops={len(self._ops)} params={self._num_params}>"
+        )

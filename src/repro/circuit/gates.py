@@ -1,0 +1,375 @@
+"""The standard gate library, defined in QGL text.
+
+Every gate here is produced from a QGL definition (or from the
+composability suite applied to one), demonstrating the extensibility
+story of the paper: no hand-written unitaries or gradients anywhere in
+this module.  Factories are memoized so repeated calls share one
+symbolic object (and therefore one JIT artifact via the cache).
+
+Qubit gates: ``u1 u2 u3 h x y z s sdg t tdg sx rx ry rz p cx cy cz ch
+cp crz swap iswap rxx ryy rzz ccx cswap``.
+
+Qudit gates: ``shift(d) clock(d) qudit_hadamard(d) csum(d)
+qutrit_phase() embedded_u3(d, l0, l1) rdiag(d)``.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+
+from ..expression import UnitaryExpression
+
+__all__ = [
+    "u1", "u2", "u3", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx",
+    "rx", "ry", "rz", "p", "cx", "cnot", "cy", "cz", "ch", "cp", "crz",
+    "swap", "iswap", "rxx", "ryy", "rzz", "ccx", "cswap",
+    "shift", "clock", "qudit_hadamard", "csum", "qutrit_phase",
+    "embedded_u3", "rdiag",
+]
+
+
+def _qgl(source: str) -> UnitaryExpression:
+    return UnitaryExpression(source)
+
+
+# ----------------------------------------------------------------------
+# Parameterized single-qubit gates
+# ----------------------------------------------------------------------
+
+@functools.cache
+def u3() -> UnitaryExpression:
+    """The universal single-qubit gate (paper Listing 2)."""
+    return _qgl(
+        """U3(theta, phi, lambda) {
+            [[cos(theta/2), ~e^(i*lambda)*sin(theta/2)],
+             [e^(i*phi)*sin(theta/2), e^(i*(phi+lambda))*cos(theta/2)]]
+        }"""
+    )
+
+
+@functools.cache
+def u2() -> UnitaryExpression:
+    """U2(phi, lambda) = U3(pi/2, phi, lambda) — the paper's CSE example."""
+    return _qgl(
+        """U2(phi, lambda) {
+            (1/sqrt(2)) * [[1, ~e^(i*lambda)],
+                           [e^(i*phi), e^(i*(phi+lambda))]]
+        }"""
+    )
+
+
+@functools.cache
+def u1() -> UnitaryExpression:
+    return _qgl("U1(lambda) { [[1, 0], [0, e^(i*lambda)]] }")
+
+
+@functools.cache
+def p() -> UnitaryExpression:
+    """Phase gate (same matrix as U1, distinct name)."""
+    return _qgl("P(lambda) { [[1, 0], [0, e^(i*lambda)]] }")
+
+
+@functools.cache
+def rx() -> UnitaryExpression:
+    return _qgl(
+        """RX(theta) {
+            [[cos(theta/2), ~i*sin(theta/2)],
+             [~i*sin(theta/2), cos(theta/2)]]
+        }"""
+    )
+
+
+@functools.cache
+def ry() -> UnitaryExpression:
+    return _qgl(
+        """RY(theta) {
+            [[cos(theta/2), ~sin(theta/2)],
+             [sin(theta/2), cos(theta/2)]]
+        }"""
+    )
+
+
+@functools.cache
+def rz() -> UnitaryExpression:
+    return _qgl(
+        """RZ(theta) {
+            [[e^(~i*theta/2), 0],
+             [0, e^(i*theta/2)]]
+        }"""
+    )
+
+
+# ----------------------------------------------------------------------
+# Constant single-qubit gates
+# ----------------------------------------------------------------------
+
+@functools.cache
+def h() -> UnitaryExpression:
+    return _qgl("H() { (1/sqrt(2)) * [[1, 1], [1, ~1]] }")
+
+
+@functools.cache
+def x() -> UnitaryExpression:
+    return _qgl("X() { [[0, 1], [1, 0]] }")
+
+
+@functools.cache
+def y() -> UnitaryExpression:
+    return _qgl("Y() { [[0, ~i], [i, 0]] }")
+
+
+@functools.cache
+def z() -> UnitaryExpression:
+    return _qgl("Z() { [[1, 0], [0, ~1]] }")
+
+
+@functools.cache
+def s() -> UnitaryExpression:
+    return _qgl("S() { [[1, 0], [0, i]] }")
+
+
+@functools.cache
+def sdg() -> UnitaryExpression:
+    return _qgl("Sdg() { [[1, 0], [0, ~i]] }")
+
+
+@functools.cache
+def t() -> UnitaryExpression:
+    return _qgl("T() { [[1, 0], [0, e^(i*pi/4)]] }")
+
+
+@functools.cache
+def tdg() -> UnitaryExpression:
+    return _qgl("Tdg() { [[1, 0], [0, e^(~i*pi/4)]] }")
+
+
+@functools.cache
+def sx() -> UnitaryExpression:
+    return _qgl(
+        "SX() { (1/2) * [[1+i, 1-i], [1-i, 1+i]] }"
+    )
+
+
+# ----------------------------------------------------------------------
+# Two-qubit gates
+# ----------------------------------------------------------------------
+
+@functools.cache
+def cx() -> UnitaryExpression:
+    """CNOT, built compositionally: a controlled X."""
+    return UnitaryExpression(x().controlled().matrix, name="CX")
+
+
+cnot = cx
+
+
+@functools.cache
+def cy() -> UnitaryExpression:
+    return UnitaryExpression(y().controlled().matrix, name="CY")
+
+
+@functools.cache
+def cz() -> UnitaryExpression:
+    return UnitaryExpression(z().controlled().matrix, name="CZ")
+
+
+@functools.cache
+def ch() -> UnitaryExpression:
+    return UnitaryExpression(h().controlled().matrix, name="CH")
+
+
+@functools.cache
+def cp() -> UnitaryExpression:
+    """Controlled phase (the QFT's entangling gate)."""
+    return UnitaryExpression(p().controlled().matrix, name="CP")
+
+
+@functools.cache
+def crz() -> UnitaryExpression:
+    return UnitaryExpression(rz().controlled().matrix, name="CRZ")
+
+
+@functools.cache
+def swap() -> UnitaryExpression:
+    return _qgl(
+        """SWAP() {
+            [[1, 0, 0, 0],
+             [0, 0, 1, 0],
+             [0, 1, 0, 0],
+             [0, 0, 0, 1]]
+        }"""
+    )
+
+
+@functools.cache
+def iswap() -> UnitaryExpression:
+    return _qgl(
+        """ISWAP() {
+            [[1, 0, 0, 0],
+             [0, 0, i, 0],
+             [0, i, 0, 0],
+             [0, 0, 0, 1]]
+        }"""
+    )
+
+
+@functools.cache
+def rxx() -> UnitaryExpression:
+    return _qgl(
+        """RXX(theta) {
+            [[cos(theta/2), 0, 0, ~i*sin(theta/2)],
+             [0, cos(theta/2), ~i*sin(theta/2), 0],
+             [0, ~i*sin(theta/2), cos(theta/2), 0],
+             [~i*sin(theta/2), 0, 0, cos(theta/2)]]
+        }"""
+    )
+
+
+@functools.cache
+def ryy() -> UnitaryExpression:
+    return _qgl(
+        """RYY(theta) {
+            [[cos(theta/2), 0, 0, i*sin(theta/2)],
+             [0, cos(theta/2), ~i*sin(theta/2), 0],
+             [0, ~i*sin(theta/2), cos(theta/2), 0],
+             [i*sin(theta/2), 0, 0, cos(theta/2)]]
+        }"""
+    )
+
+
+@functools.cache
+def rzz() -> UnitaryExpression:
+    """The DTC benchmark's entangler (paper Listing 4)."""
+    return _qgl(
+        """RZZ(theta) {
+            [[e^(~i*theta/2), 0, 0, 0],
+             [0, e^(i*theta/2), 0, 0],
+             [0, 0, e^(i*theta/2), 0],
+             [0, 0, 0, e^(~i*theta/2)]]
+        }"""
+    )
+
+
+# ----------------------------------------------------------------------
+# Three-qubit gates
+# ----------------------------------------------------------------------
+
+@functools.cache
+def ccx() -> UnitaryExpression:
+    """Toffoli, as a doubly-controlled X."""
+    return UnitaryExpression(
+        x().controlled().controlled().matrix, name="CCX"
+    )
+
+
+@functools.cache
+def cswap() -> UnitaryExpression:
+    return UnitaryExpression(swap().controlled().matrix, name="CSWAP")
+
+
+# ----------------------------------------------------------------------
+# Qudit gates
+# ----------------------------------------------------------------------
+
+@functools.cache
+def shift(d: int) -> UnitaryExpression:
+    """The generalized Pauli-X: |j> -> |(j+1) mod d>."""
+    m = np.zeros((d, d))
+    for j in range(d):
+        m[(j + 1) % d, j] = 1.0
+    return UnitaryExpression.from_numpy(m, radices=(d,), name=f"X{d}")
+
+
+@functools.cache
+def clock(d: int) -> UnitaryExpression:
+    """The generalized Pauli-Z: diag(1, w, w^2, ...), w = e^(2*pi*i/d)."""
+    w = np.exp(2j * math.pi / d)
+    return UnitaryExpression.from_numpy(
+        np.diag(w ** np.arange(d)), radices=(d,), name=f"Z{d}"
+    )
+
+
+@functools.cache
+def qudit_hadamard(d: int) -> UnitaryExpression:
+    """The discrete-Fourier (generalized Hadamard) gate."""
+    w = np.exp(2j * math.pi / d)
+    m = w ** np.outer(np.arange(d), np.arange(d)) / math.sqrt(d)
+    return UnitaryExpression.from_numpy(m, radices=(d,), name=f"H{d}")
+
+
+@functools.cache
+def csum(d: int = 3) -> UnitaryExpression:
+    """The controlled-sum gate: |i, j> -> |i, (i+j) mod d>.
+
+    The standard entangling gate for qudit synthesis (the qutrit
+    circuits in paper Figure 5 use CSUM in place of CNOT).
+    """
+    m = np.zeros((d * d, d * d))
+    for i in range(d):
+        for j in range(d):
+            m[i * d + (i + j) % d, i * d + j] = 1.0
+    return UnitaryExpression.from_numpy(
+        m, radices=(d, d), name=f"CSUM{d}"
+    )
+
+
+@functools.cache
+def qutrit_phase() -> UnitaryExpression:
+    """The two-parameter qutrit phase gate diag(1, e^(i a), e^(i b))
+    used by the Figure 5 qutrit circuits."""
+    return _qgl(
+        """P3<3>(a, b) {
+            [[1, 0, 0],
+             [0, e^(i*a), 0],
+             [0, 0, e^(i*b)]]
+        }"""
+    )
+
+
+@functools.cache
+def embedded_u3(d: int, l0: int, l1: int) -> UnitaryExpression:
+    """A U3 rotation embedded in levels ``(l0, l1)`` of a ``d``-level
+    qudit — the workhorse parameterized gate for qudit synthesis."""
+    if not 0 <= l0 < l1 < d:
+        raise ValueError("levels must satisfy 0 <= l0 < l1 < d")
+    rows = []
+    u3_entries = {
+        (0, 0): "cos(theta/2)",
+        (0, 1): "~e^(i*lambda)*sin(theta/2)",
+        (1, 0): "e^(i*phi)*sin(theta/2)",
+        (1, 1): "e^(i*(phi+lambda))*cos(theta/2)",
+    }
+    levels = {l0: 0, l1: 1}
+    for r in range(d):
+        row = []
+        for c in range(d):
+            if r in levels and c in levels:
+                row.append(u3_entries[(levels[r], levels[c])])
+            else:
+                row.append("1" if r == c else "0")
+        rows.append("[" + ", ".join(row) + "]")
+    source = (
+        f"EU3_{d}_{l0}{l1}<{d}>(theta, phi, lambda) {{ ["
+        + ", ".join(rows)
+        + "] }"
+    )
+    return _qgl(source)
+
+
+@functools.cache
+def rdiag(d: int) -> UnitaryExpression:
+    """A (d-1)-parameter diagonal phase rotation on a d-level qudit."""
+    entries = ["1"] + [f"e^(i*a{k})" for k in range(d - 1)]
+    rows = []
+    for r in range(d):
+        rows.append(
+            "[" + ", ".join(
+                entries[r] if r == c else "0" for c in range(d)
+            ) + "]"
+        )
+    names = ", ".join(f"a{k}" for k in range(d - 1))
+    source = f"RDIAG{d}<{d}>({names}) {{ [" + ", ".join(rows) + "] }"
+    return _qgl(source)

@@ -1,0 +1,33 @@
+"""E-graph based symbolic simplification (equality saturation)."""
+
+from .cost import TABLE_I, expression_cost, op_cost
+from .egraph import EClass, EGraph, ENode
+from .extract import GreedyExtractor, extract_best
+from .pattern import Pattern, PatNode, PatVar, Rewrite, parse_pattern
+from .rules import arithmetic_rules, default_rules, exp_rules, trig_rules
+from .runner import Runner, RunnerLimits, RunnerReport, simplify, simplify_all
+
+__all__ = [
+    "EGraph",
+    "EClass",
+    "ENode",
+    "Rewrite",
+    "Pattern",
+    "PatVar",
+    "PatNode",
+    "parse_pattern",
+    "default_rules",
+    "arithmetic_rules",
+    "trig_rules",
+    "exp_rules",
+    "Runner",
+    "RunnerLimits",
+    "RunnerReport",
+    "simplify",
+    "simplify_all",
+    "GreedyExtractor",
+    "extract_best",
+    "op_cost",
+    "expression_cost",
+    "TABLE_I",
+]

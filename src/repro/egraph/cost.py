@@ -1,0 +1,57 @@
+"""The Table I cost model for e-graph extraction.
+
+====================  =====
+expression type       cost
+====================  =====
+pi, variable          0.0
+constant              0.5
+``~ + -``             1.0
+``* /``               5.0
+``sqrt sin cos``      50.0
+``exp ln pow``        100.0
+====================  =====
+
+The large separation between cheap arithmetic and expensive
+trigonometric/exponential operations is the dominant factor; the paper
+notes the results are robust to small perturbations of these weights.
+"""
+
+from __future__ import annotations
+
+__all__ = ["op_cost", "TABLE_I", "expression_cost"]
+
+TABLE_I: dict[str, float] = {
+    "pi": 0.0,
+    "var": 0.0,
+    "const": 0.5,
+    "~": 1.0,
+    "+": 1.0,
+    "-": 1.0,
+    "*": 5.0,
+    "/": 5.0,
+    "sqrt": 50.0,
+    "sin": 50.0,
+    "cos": 50.0,
+    "exp": 100.0,
+    "ln": 100.0,
+    "pow": 100.0,
+}
+
+
+def op_cost(op: str) -> float:
+    """Cost of a single operator application (children not included)."""
+    try:
+        return TABLE_I[op]
+    except KeyError:
+        raise ValueError(f"no cost defined for operator {op!r}") from None
+
+
+def expression_cost(expr) -> float:
+    """DAG-aware cost of a symbolic expression.
+
+    Shared subexpressions are counted once, matching what the JIT's
+    common-subexpression elimination will actually emit.
+    """
+    from ..symbolic import expr as E
+
+    return sum(op_cost(node.op) for node in E.postorder(expr))

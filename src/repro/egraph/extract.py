@@ -1,0 +1,141 @@
+"""Greedy bottom-up extraction with zero-cost CSE (paper section III-C).
+
+Optimal extraction from an e-graph is an ILP; OpenQudit instead uses a
+novel greedy heuristic:
+
+1. *Stabilize* costs: iterate minimum e-class costs to a fixpoint.
+2. Extract the lowest-cost expression for the next requested root.
+3. Set the cost of every e-class traversed during that extraction to
+   zero, so subsequent extractions greedily reuse already-computed
+   subexpressions (explicit common-subexpression elimination).
+4. Repeat from step 1 until all roots are extracted.
+
+The canonical example is the U2 gate: once ``e^(iλ)`` and ``e^(iϕ)``
+have been extracted, the rewrite-discovered form ``e^(iλ)·e^(iϕ)`` of
+``e^(i(ϕ+λ))`` costs a single multiplication and wins over the direct
+trigonometric form.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..symbolic import expr as E
+from ..symbolic.expr import Expr
+from .cost import op_cost
+from .egraph import EGraph, ENode
+
+__all__ = ["GreedyExtractor", "extract_best"]
+
+_INF = math.inf
+
+
+class GreedyExtractor:
+    """Multi-root extractor over a saturated e-graph."""
+
+    def __init__(self, egraph: EGraph):
+        self.egraph = egraph
+        self.class_cost: dict[int, float] = {}
+        # The acyclic witness node found during stabilization; used as a
+        # safe fallback if greedy selection would create a cycle.
+        self.witness: dict[int, ENode] = {}
+        # Completed extractions, reusable at zero cost.
+        self.extracted: dict[int, Expr] = {}
+        self._stabilize()
+
+    # ------------------------------------------------------------------
+    def _node_cost(self, node: ENode) -> float:
+        op, _payload, children = node
+        total = op_cost(op)
+        for child in children:
+            child_cost = self.class_cost.get(self.egraph.find(child), _INF)
+            if child_cost is _INF:
+                return _INF
+            total += child_cost
+        return total
+
+    def _stabilize(self) -> None:
+        """Iterate class costs to a fixpoint (step 1 of the algorithm)."""
+        changed = True
+        while changed:
+            changed = False
+            for cls in self.egraph.eclasses():
+                cid = self.egraph.find(cls.id)
+                if cid != cls.id:
+                    continue
+                if cid in self.extracted:
+                    # Traversed classes stay pinned at zero.
+                    if self.class_cost.get(cid) != 0.0:
+                        self.class_cost[cid] = 0.0
+                        changed = True
+                    continue
+                best = self.class_cost.get(cid, _INF)
+                for node in cls.nodes:
+                    cost = self._node_cost(node)
+                    if cost < best:
+                        best = cost
+                        self.witness[cid] = node
+                        changed = True
+                if best < self.class_cost.get(cid, _INF):
+                    self.class_cost[cid] = best
+        # witness updates only happen on strict improvement, so the
+        # witness forest is acyclic.
+
+    # ------------------------------------------------------------------
+    def extract(self, root: int) -> Expr:
+        """Extract the current cheapest expression for ``root``."""
+        self._stabilize()
+        expr = self._extract_class(self.egraph.find(root), stack=set())
+        return expr
+
+    def extract_many(self, roots: list[int]) -> list[Expr]:
+        """Extract all roots in order with cross-root CSE."""
+        return [self.extract(r) for r in roots]
+
+    def _extract_class(self, cid: int, stack: set[int]) -> Expr:
+        cid = self.egraph.find(cid)
+        done = self.extracted.get(cid)
+        if done is not None:
+            return done
+        cls = self.egraph.classes[cid]
+        stack = stack | {cid}
+
+        best_node: ENode | None = None
+        best_cost = _INF
+        for node in cls.nodes:
+            if any(self.egraph.find(c) in stack for c in node[2]):
+                continue  # would create a cycle
+            cost = self._node_cost(node)
+            if cost < best_cost:
+                best_cost = cost
+                best_node = node
+        if best_node is None:
+            # Every greedy candidate loops back into the active stack;
+            # fall back to the acyclic stabilization witness.
+            best_node = self.witness.get(cid)
+            if best_node is None:
+                raise ValueError(
+                    f"e-class {cid} has no extractable expression"
+                )
+
+        expr = self._build(best_node, stack)
+        # Step 3: the traversed class now costs nothing to reuse.
+        self.extracted[cid] = expr
+        self.class_cost[cid] = 0.0
+        return expr
+
+    def _build(self, node: ENode, stack: set[int]) -> Expr:
+        op, payload, children = node
+        if op == "const":
+            return E.const(payload)
+        if op == "var":
+            return E.var(payload)
+        if op == "pi":
+            return E.PI
+        args = [self._extract_class(c, stack) for c in children]
+        return E.build(op, args)
+
+
+def extract_best(egraph: EGraph, root: int) -> Expr:
+    """Single-root convenience wrapper."""
+    return GreedyExtractor(egraph).extract(root)

@@ -1,0 +1,191 @@
+"""Pattern language and e-matching for rewrite rules.
+
+Patterns are written as s-expressions; ``?x`` is a pattern variable::
+
+    (sin (~ ?x))            matches sin of a negated subterm
+    (+ (* (sin ?x) (sin ?x)) (* (cos ?x) (cos ?x)))   the Pythagorean LHS
+
+Matching is the standard backtracking e-matching procedure: a pattern
+node matches an e-class if any e-node in the class has the same operator
+and every child pattern matches the corresponding child class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .egraph import EGraph
+
+__all__ = ["Pattern", "PatVar", "PatNode", "parse_pattern", "Rewrite"]
+
+
+@dataclass(frozen=True)
+class PatVar:
+    """A pattern variable, written ``?name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PatNode:
+    """A concrete operator pattern with child patterns.
+
+    Leaves use ``payload``: ``("const", 2.0)``, ``("var", "x")``, or
+    ``("pi", None)``.
+    """
+
+    op: str
+    payload: object = None
+    children: tuple["Pattern", ...] = ()
+
+
+Pattern = PatVar | PatNode
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse an s-expression pattern string."""
+    tokens = text.replace("(", " ( ").replace(")", " ) ").split()
+    pos = 0
+
+    def parse() -> Pattern:
+        nonlocal pos
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            op = tokens[pos]
+            pos += 1
+            children = []
+            while tokens[pos] != ")":
+                children.append(parse())
+            pos += 1
+            return PatNode(op=op, children=tuple(children))
+        if tok == ")":
+            raise ValueError("unexpected ')' in pattern")
+        if tok.startswith("?"):
+            return PatVar(tok[1:])
+        if tok == "pi":
+            return PatNode(op="pi")
+        try:
+            return PatNode(op="const", payload=float(tok))
+        except ValueError:
+            return PatNode(op="var", payload=tok)
+
+    result = parse()
+    if pos != len(tokens):
+        raise ValueError("trailing tokens in pattern")
+    return result
+
+
+def match_in_class(
+    egraph: EGraph, pattern: Pattern, cid: int,
+    limit: int | None = None,
+) -> list[dict[str, int]]:
+    """All substitutions under which ``pattern`` matches e-class ``cid``."""
+    results: list[dict[str, int]] = []
+    _match(egraph, pattern, egraph.find(cid), {}, results, limit)
+    return results
+
+
+def _match(
+    egraph: EGraph,
+    pattern: Pattern,
+    cid: int,
+    subst: dict[str, int],
+    out: list[dict[str, int]],
+    limit: int | None,
+) -> None:
+    if limit is not None and len(out) >= limit:
+        return
+    if isinstance(pattern, PatVar):
+        bound = subst.get(pattern.name)
+        if bound is None:
+            new = dict(subst)
+            new[pattern.name] = cid
+            out.append(new)
+        elif egraph.find(bound) == cid:
+            out.append(dict(subst))
+        return
+    cls = egraph.classes.get(cid)
+    if cls is None:
+        return
+    for node in list(cls.nodes):
+        op, payload, children = node
+        if op != pattern.op:
+            continue
+        if pattern.op in ("const", "var") and payload != pattern.payload:
+            continue
+        if len(children) != len(pattern.children):
+            continue
+        partials = [dict(subst)]
+        for pat_child, child_cid in zip(pattern.children, children):
+            next_partials: list[dict[str, int]] = []
+            for p in partials:
+                _match(
+                    egraph, pat_child, egraph.find(child_cid),
+                    p, next_partials, limit,
+                )
+            partials = next_partials
+            if not partials:
+                break
+        out.extend(partials)
+        if limit is not None and len(out) >= limit:
+            return
+
+
+def instantiate(
+    egraph: EGraph, pattern: Pattern, subst: dict[str, int]
+) -> int:
+    """Build the pattern in the e-graph under a substitution."""
+    if isinstance(pattern, PatVar):
+        return egraph.find(subst[pattern.name])
+    children = [
+        instantiate(egraph, c, subst) for c in pattern.children
+    ]
+    return egraph.add(pattern.op, pattern.payload, children)
+
+
+class Rewrite:
+    """A directed rewrite rule ``lhs => rhs``."""
+
+    __slots__ = ("name", "lhs", "rhs")
+
+    def __init__(self, name: str, lhs: str | Pattern, rhs: str | Pattern):
+        self.name = name
+        self.lhs = parse_pattern(lhs) if isinstance(lhs, str) else lhs
+        self.rhs = parse_pattern(rhs) if isinstance(rhs, str) else rhs
+
+    def search(
+        self, egraph: EGraph, limit_per_class: int = 32
+    ) -> list[tuple[int, dict[str, int]]]:
+        """Find (matched class id, substitution) pairs across the graph."""
+        found: list[tuple[int, dict[str, int]]] = []
+        for cls in egraph.eclasses():
+            cid = egraph.find(cls.id)
+            if cid != cls.id:
+                continue
+            for subst in match_in_class(
+                egraph, self.lhs, cid, limit_per_class
+            ):
+                found.append((cid, subst))
+        return found
+
+    def apply(
+        self, egraph: EGraph, matches: list[tuple[int, dict[str, int]]]
+    ) -> int:
+        """Union each matched class with the instantiated RHS."""
+        changed = 0
+        for cid, subst in matches:
+            rhs_id = instantiate(egraph, self.rhs, subst)
+            root = egraph.find(cid)
+            if rhs_id != root:
+                egraph.union(rhs_id, root)
+                changed += 1
+        return changed
+
+    def __repr__(self) -> str:
+        return f"Rewrite({self.name})"
+
+
+def bidirectional(name: str, lhs: str, rhs: str) -> list[Rewrite]:
+    """A pair of rewrites for ``lhs <=> rhs``."""
+    return [Rewrite(name, lhs, rhs), Rewrite(f"{name}-rev", rhs, lhs)]

@@ -1,0 +1,206 @@
+"""UnitaryExpression: the user-facing handle for QGL gate definitions.
+
+This mirrors the paper's ``UnitaryExpression::new`` entry point
+(Listings 2 and 4)::
+
+    rx = UnitaryExpression('''RX(theta) {
+        [[cos(theta/2), ~i*sin(theta/2)],
+         [~i*sin(theta/2), cos(theta/2)]]
+    }''')
+
+From this lone definition OpenQudit derives the unitary matrix, its
+analytical gradient, and the JIT-compiled code for both when needed.
+The composability suite (dagger, controlled, Kronecker/matrix products,
+substitution) returns new ``UnitaryExpression`` objects, enabling
+on-the-fly creation of composite gates from high-level definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .jit.cache import ExpressionCache, global_cache
+from .jit.compiled import CompiledExpression
+from .qgl import parse_unitary
+from .symbolic import expr as E
+from .symbolic.matrix import ExpressionMatrix
+
+__all__ = ["UnitaryExpression"]
+
+
+class UnitaryExpression:
+    """A symbolic, unitary-valued gate expression."""
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, source: str | ExpressionMatrix, name: str | None = None):
+        if isinstance(source, str):
+            matrix = parse_unitary(source)
+        elif isinstance(source, ExpressionMatrix):
+            matrix = source
+        else:
+            raise TypeError(
+                "UnitaryExpression expects QGL source text or an "
+                f"ExpressionMatrix, got {type(source).__name__}"
+            )
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("a unitary expression must be square")
+        if name is not None and matrix.name != name:
+            matrix = ExpressionMatrix(
+                matrix._data,
+                params=matrix.params,
+                radices=matrix.radices,
+                name=name,
+            )
+        object.__setattr__(self, "matrix", matrix)
+
+    def __setattr__(self, *_args) -> None:
+        raise AttributeError("UnitaryExpression is immutable")
+
+    @staticmethod
+    def from_numpy(
+        array: np.ndarray,
+        radices: Sequence[int] | None = None,
+        name: str | None = None,
+    ) -> "UnitaryExpression":
+        """Lift a constant numeric unitary into a (parameterless)
+        expression."""
+        return UnitaryExpression(
+            ExpressionMatrix.from_numpy(array, radices=radices, name=name)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str | None:
+        return self.matrix.name
+
+    @property
+    def params(self) -> tuple[str, ...]:
+        return self.matrix.params
+
+    @property
+    def num_params(self) -> int:
+        return self.matrix.num_params
+
+    @property
+    def radices(self) -> tuple[int, ...]:
+        return tuple(self.matrix.radices)
+
+    @property
+    def num_qudits(self) -> int:
+        return self.matrix.num_qudits
+
+    @property
+    def dim(self) -> int:
+        return self.matrix.dim
+
+    # ------------------------------------------------------------------
+    # Numerics
+    # ------------------------------------------------------------------
+    def unitary(
+        self, params: Sequence[float] | Mapping[str, float] = ()
+    ) -> np.ndarray:
+        """Reference (slow-path) numeric evaluation."""
+        return self.matrix.evaluate(params)
+
+    def is_unitary(self, params: Sequence[float] = (), tol: float = 1e-9) -> bool:
+        return self.matrix.is_unitary(params, tol)
+
+    def compiled(
+        self,
+        grad: bool = True,
+        simplify: bool = True,
+        cache: ExpressionCache | None = None,
+    ) -> CompiledExpression:
+        """The JIT-compiled form, via the shared expression cache."""
+        if cache is None:  # empty caches are falsy; check identity
+            cache = global_cache()
+        return cache.get(self.matrix, grad=grad, simplify=simplify)
+
+    # ------------------------------------------------------------------
+    # Composability (paper section III-B)
+    # ------------------------------------------------------------------
+    def dagger(self) -> "UnitaryExpression":
+        """The inverse gate (conjugate transpose)."""
+        return UnitaryExpression(self.matrix.dagger())
+
+    def conjugate(self) -> "UnitaryExpression":
+        return UnitaryExpression(self.matrix.conjugate())
+
+    def transpose(self) -> "UnitaryExpression":
+        return UnitaryExpression(self.matrix.transpose())
+
+    def controlled(
+        self, control_radix: int = 2, control_levels: Sequence[int] = (1,)
+    ) -> "UnitaryExpression":
+        """Add a control qudit (e.g. ``x().controlled()`` is CNOT)."""
+        return UnitaryExpression(
+            self.matrix.controlled(control_radix, control_levels)
+        )
+
+    def kron(self, other: "UnitaryExpression") -> "UnitaryExpression":
+        """Parallel composition on disjoint qudits.
+
+        Parameters of the two operands stay independent: if ``other``
+        reuses one of this gate's parameter names, its copy is renamed
+        (``theta`` -> ``theta_1``), matching the intuition that two
+        placed gates have separate knobs.  Use
+        :meth:`UnitaryExpression.substitute` afterwards to deliberately
+        tie parameters together.
+        """
+        return UnitaryExpression(
+            self.matrix.kron(_disjoint(self.matrix, _mat(other)))
+        )
+
+    def __matmul__(self, other: "UnitaryExpression") -> "UnitaryExpression":
+        """Sequential composition (matrix product); clashing parameter
+        names in ``other`` are renamed, as in :meth:`kron`."""
+        return UnitaryExpression(
+            self.matrix @ _disjoint(self.matrix, _mat(other))
+        )
+
+    def substitute(self, mapping: Mapping[str, E.Expr]) -> "UnitaryExpression":
+        """Substitute parameter expressions (e.g. tie two parameters)."""
+        return UnitaryExpression(self.matrix.substitute(mapping))
+
+    def bind(self, values: Mapping[str, float]) -> "UnitaryExpression":
+        """Fix some parameters to constants."""
+        return UnitaryExpression(self.matrix.bind(values))
+
+    def rename_params(self, mapping: Mapping[str, str]) -> "UnitaryExpression":
+        return UnitaryExpression(self.matrix.rename_params(mapping))
+
+    def __repr__(self) -> str:
+        return (
+            f"UnitaryExpression({self.name or '?'}, dim={self.dim}, "
+            f"params={list(self.params)})"
+        )
+
+
+def _mat(value: "UnitaryExpression | ExpressionMatrix") -> ExpressionMatrix:
+    if isinstance(value, UnitaryExpression):
+        return value.matrix
+    return value
+
+
+def _disjoint(
+    left: ExpressionMatrix, right: ExpressionMatrix
+) -> ExpressionMatrix:
+    """Rename ``right``'s parameters so they do not collide with
+    ``left``'s."""
+    taken = set(left.params)
+    mapping: dict[str, str] = {}
+    for name in right.params:
+        if name not in taken:
+            taken.add(name)
+            continue
+        k = 1
+        while f"{name}_{k}" in taken or f"{name}_{k}" in right.params:
+            k += 1
+        mapping[name] = f"{name}_{k}"
+        taken.add(f"{name}_{k}")
+    return right.rename_params(mapping) if mapping else right

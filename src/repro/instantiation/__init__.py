@@ -1,0 +1,27 @@
+"""Numerical instantiation: HS cost, Levenberg-Marquardt, multi-start."""
+
+from .cost import HilbertSchmidtResiduals, infidelity_from_cost
+from .gd import AdamOptions, AdamResult, InfidelityFunction, adam_minimize
+from .instantiater import (
+    SUCCESS_THRESHOLD,
+    Instantiater,
+    InstantiationResult,
+    instantiate,
+)
+from .lm import LMOptions, LMResult, levenberg_marquardt
+
+__all__ = [
+    "Instantiater",
+    "InstantiationResult",
+    "instantiate",
+    "SUCCESS_THRESHOLD",
+    "HilbertSchmidtResiduals",
+    "infidelity_from_cost",
+    "LMOptions",
+    "LMResult",
+    "levenberg_marquardt",
+    "AdamOptions",
+    "AdamResult",
+    "InfidelityFunction",
+    "adam_minimize",
+]

@@ -1,0 +1,115 @@
+"""Adam gradient descent on the Eq. (1) infidelity.
+
+The paper's Discussion VI-A notes the evaluation used a deliberately
+naive LM optimizer to isolate the TNVM's contribution, and that better
+optimizers are future work.  This module provides a second optimizer —
+Adam on the raw infidelity — used by the optimizer-ablation benchmark
+to show the instantiation engine is optimizer-agnostic: any method that
+consumes the TNVM's unitary + gradient plugs in.
+
+The infidelity and its exact gradient:
+
+    L(theta)   = 1 - |t| / D,      t = Tr(U_target^dag U(theta))
+    dL/dtheta_k = -Re(conj(t) * Tr(U_target^dag dU/dtheta_k)) / (|t| D)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tnvm.vm import TNVM, Differentiation
+
+__all__ = ["AdamOptions", "AdamResult", "adam_minimize", "InfidelityFunction"]
+
+
+@dataclass(frozen=True)
+class AdamOptions:
+    """Standard Adam hyperparameters plus stopping criteria."""
+
+    learning_rate: float = 0.05
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    max_iterations: int = 2000
+    gradient_tolerance: float = 1e-12
+    success_infidelity: float | None = None
+
+
+@dataclass
+class AdamResult:
+    params: np.ndarray
+    infidelity: float
+    iterations: int
+    converged: bool
+    stop_reason: str
+
+
+class InfidelityFunction:
+    """Eq. (1) value-and-gradient oracle over a gradient TNVM."""
+
+    def __init__(self, vm: TNVM, target: np.ndarray):
+        if vm.diff is not Differentiation.GRADIENT:
+            raise ValueError("InfidelityFunction requires a GRADIENT TNVM")
+        self.vm = vm
+        self.target_dag = np.asarray(target, dtype=np.complex128).conj().T
+        self.dim = vm.dim
+
+    def value_and_grad(
+        self, params: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        u, du = self.vm.evaluate_with_grad(tuple(params))
+        t = np.trace(self.target_dag @ u)
+        mag = abs(t)
+        value = 1.0 - mag / self.dim
+        if mag < 1e-300:
+            # Gradient of |t| is undefined at t == 0; nudge uniformly.
+            return value, np.zeros(len(params))
+        # dt/dtheta_k = Tr(target^dag dU_k); broadcast over the stack.
+        dts = np.einsum("ij,kji->k", self.target_dag, du)
+        grad = -np.real(np.conj(t) * dts) / (mag * self.dim)
+        return value, grad
+
+
+def adam_minimize(
+    fn: InfidelityFunction,
+    x0: np.ndarray,
+    options: AdamOptions | None = None,
+) -> AdamResult:
+    """Minimize the infidelity with Adam from ``x0``."""
+    opts = options or AdamOptions()
+    x = np.asarray(x0, dtype=np.float64).copy()
+    m = np.zeros_like(x)
+    v = np.zeros_like(x)
+    value, grad = fn.value_and_grad(x)
+    best_x, best_value = x.copy(), value
+    stop_reason = "max-iterations"
+    iteration = 0
+    for iteration in range(1, opts.max_iterations + 1):
+        if (
+            opts.success_infidelity is not None
+            and best_value <= opts.success_infidelity
+        ):
+            stop_reason = "success-threshold"
+            break
+        if float(np.max(np.abs(grad), initial=0.0)) < opts.gradient_tolerance:
+            stop_reason = "gradient-tolerance"
+            break
+        m = opts.beta1 * m + (1 - opts.beta1) * grad
+        v = opts.beta2 * v + (1 - opts.beta2) * grad * grad
+        m_hat = m / (1 - opts.beta1 ** iteration)
+        v_hat = v / (1 - opts.beta2 ** iteration)
+        x = x - opts.learning_rate * m_hat / (np.sqrt(v_hat) + opts.epsilon)
+        value, grad = fn.value_and_grad(x)
+        if value < best_value:
+            best_value = value
+            best_x = x.copy()
+    converged = stop_reason in ("success-threshold", "gradient-tolerance")
+    return AdamResult(
+        params=best_x,
+        infidelity=best_value,
+        iterations=iteration,
+        converged=converged,
+        stop_reason=stop_reason,
+    )

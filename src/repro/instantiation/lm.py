@@ -1,0 +1,145 @@
+"""A naive Levenberg–Marquardt optimizer (paper sections V-C, VI-A).
+
+The paper deliberately pairs the TNVM with a simple LM implementation to
+isolate the evaluation pipeline's contribution; this module is that
+optimizer.  It is also reused verbatim by the baseline framework so the
+instantiation benchmarks measure evaluation speed, not optimizer
+differences.
+
+Implementation: classic Marquardt-damped normal equations — solve
+``(J^T J + mu * diag(J^T J)) dx = -J^T r``, escalate ``mu`` (x10)
+until a step reduces the cost, decay it (/10) on acceptance.  The
+step-size convergence test fires only on *accepted* steps: a tiny step
+under heavy damping means the damping is winning, not that the
+optimizer converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["LMOptions", "LMResult", "levenberg_marquardt"]
+
+
+@dataclass(frozen=True)
+class LMOptions:
+    """Stopping and damping knobs for the LM loop."""
+
+    max_iterations: int = 150
+    #: initial damping, relative to the Marquardt diag(J^T J) scaling
+    initial_mu: float = 1e-3
+    #: rejection escalation factor
+    mu_up: float = 10.0
+    #: acceptance decay factor
+    mu_down: float = 10.0
+    max_mu: float = 1e16
+    gradient_tolerance: float = 1e-12
+    #: relative step tolerance, tested on accepted steps only; near
+    #: machine epsilon so quadratic convergence polishes past tight
+    #: success thresholds before declaring a stationary point
+    step_tolerance: float = 3e-16
+    #: stop immediately once sum(r^2) falls below this (short-circuit)
+    success_cost: float | None = None
+
+
+@dataclass
+class LMResult:
+    """Outcome of one LM run."""
+
+    params: np.ndarray
+    cost: float  # final sum of squared residuals
+    iterations: int
+    num_evaluations: int
+    converged: bool
+    stop_reason: str
+
+
+def levenberg_marquardt(
+    residual_fn: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+    x0: np.ndarray,
+    options: LMOptions | None = None,
+) -> LMResult:
+    """Minimize ``sum(residual_fn(x)[0]**2)`` from ``x0``.
+
+    ``residual_fn`` returns ``(r, J)`` with ``J[i, k] = dr_i / dx_k``.
+    """
+    opts = options or LMOptions()
+    x = np.asarray(x0, dtype=np.float64).copy()
+    r, jac = residual_fn(x)
+    cost = float(r @ r)
+    n_eval = 1
+
+    if x.size == 0:
+        return LMResult(
+            params=x, cost=cost, iterations=0, num_evaluations=1,
+            converged=opts.success_cost is not None
+            and cost <= opts.success_cost,
+            stop_reason="no-parameters",
+        )
+
+    jtj = jac.T @ jac
+    jtr = jac.T @ r
+    mu = opts.initial_mu
+    nu = opts.mu_up
+
+    stop_reason = "max-iterations"
+    iteration = 0
+    for iteration in range(1, opts.max_iterations + 1):
+        if opts.success_cost is not None and cost <= opts.success_cost:
+            stop_reason = "success-threshold"
+            break
+        if float(np.max(np.abs(jtr), initial=0.0)) < opts.gradient_tolerance:
+            stop_reason = "gradient-tolerance"
+            break
+        # Marquardt scaling: damp proportionally to diag(J^T J) so the
+        # trust region respects per-parameter curvature.
+        diag = np.clip(jtj.diagonal(), 1e-8, None)
+
+        # Inner damping escalation: climb mu until a step is accepted.
+        accepted = False
+        while mu <= opts.max_mu:
+            try:
+                step = np.linalg.solve(jtj + mu * np.diag(diag), -jtr)
+            except np.linalg.LinAlgError:
+                mu *= nu
+                continue
+            candidate = x + step
+            r_new, jac_new = residual_fn(candidate)
+            n_eval += 1
+            cost_new = float(r_new @ r_new)
+            if cost_new < cost:
+                x, r, jac, cost = candidate, r_new, jac_new, cost_new
+                jtj = jac.T @ jac
+                jtr = jac.T @ r
+                mu = max(mu / opts.mu_down, 1e-15)
+                accepted = True
+                break
+            mu *= nu
+        if not accepted:
+            stop_reason = "damping-limit"
+            break
+        # Convergence by step size only counts for *accepted* steps; a
+        # tiny step under heavy damping means the damping is winning,
+        # not that the optimizer converged.
+        if float(np.linalg.norm(step)) < opts.step_tolerance * (
+            float(np.linalg.norm(x)) + opts.step_tolerance
+        ):
+            stop_reason = "step-tolerance"
+            break
+    else:
+        iteration = opts.max_iterations
+
+    if opts.success_cost is not None and cost <= opts.success_cost:
+        stop_reason = "success-threshold"
+
+    return LMResult(
+        params=x,
+        cost=cost,
+        iterations=iteration,
+        num_evaluations=n_eval,
+        converged=stop_reason in ("success-threshold", "gradient-tolerance"),
+        stop_reason=stop_reason,
+    )

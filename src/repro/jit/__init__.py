@@ -1,0 +1,15 @@
+"""Expression JIT: codegen, compiled expressions, and the shared cache."""
+
+from .cache import ExpressionCache, canonical_key, global_cache
+from .codegen import CodegenResult, compile_writer, generate_source
+from .compiled import CompiledExpression
+
+__all__ = [
+    "CompiledExpression",
+    "ExpressionCache",
+    "global_cache",
+    "canonical_key",
+    "compile_writer",
+    "generate_source",
+    "CodegenResult",
+]

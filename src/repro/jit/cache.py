@@ -1,0 +1,89 @@
+"""The ExpressionCache (paper section IV-B).
+
+JIT compilation of a single QGL expression costs milliseconds while one
+numerical evaluation costs microseconds; the cache amortizes that cost.
+Expressions are keyed by their *alpha-renamed canonical form* — two
+gates that differ only in parameter names (or object identity) share one
+compiled artifact — so each unique QGL expression is compiled exactly
+once per process, across all circuits and TNVM instantiations.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..egraph.runner import RunnerLimits
+from ..symbolic import expr as E
+from ..symbolic.matrix import ExpressionMatrix
+from .compiled import CompiledExpression
+
+__all__ = ["ExpressionCache", "global_cache", "canonical_key"]
+
+
+def canonical_key(matrix: ExpressionMatrix, grad: bool, simplify: bool) -> tuple:
+    """A hashable alpha-invariant key for a gate expression."""
+    rename = {p: f"_p{k}" for k, p in enumerate(matrix.params)}
+    parts = []
+    for _, elem in matrix.elements():
+        renamed = elem.rename_variables(rename)
+        parts.append(E.to_sexpr(renamed.re))
+        parts.append(E.to_sexpr(renamed.im))
+    return (
+        matrix.shape,
+        tuple(matrix.radices),
+        len(matrix.params),
+        grad,
+        simplify,
+        tuple(parts),
+    )
+
+
+class ExpressionCache:
+    """Shared, thread-safe cache of :class:`CompiledExpression` objects."""
+
+    def __init__(self, limits: RunnerLimits | None = None):
+        self._entries: dict[tuple, CompiledExpression] = {}
+        self._lock = threading.Lock()
+        self._limits = limits
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        matrix: ExpressionMatrix,
+        grad: bool = True,
+        simplify: bool = True,
+    ) -> CompiledExpression:
+        """Fetch (or compile and insert) the JIT'd form of ``matrix``."""
+        key = canonical_key(matrix, grad, simplify)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                return entry
+        # Compile outside the lock; duplicate compiles are harmless and
+        # the second insert wins the race benignly.
+        compiled = CompiledExpression(
+            matrix, grad=grad, simplify=simplify, limits=self._limits
+        )
+        with self._lock:
+            self._entries.setdefault(key, compiled)
+            self.misses += 1
+            return self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_GLOBAL = ExpressionCache()
+
+
+def global_cache() -> ExpressionCache:
+    """The process-wide default cache used by circuits and TNVMs."""
+    return _GLOBAL

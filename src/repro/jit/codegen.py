@@ -1,0 +1,257 @@
+"""Expression JIT: compile symbolic matrices to specialized Python code.
+
+This is the reproduction's stand-in for OpenQudit's LLVM backend (see
+DESIGN.md).  The architecture is identical — a gate's simplified unitary
+and gradient expressions are lowered to straight-line code with explicit
+common-subexpression elimination, compiled once, and the resulting
+"function pointer" is cached and called millions of times from the TNVM
+evaluation loop — only the final code generator targets CPython bytecode
+instead of native machine code.
+
+Two functions are emitted per expression:
+
+``write_constants(out, grad)``
+    Writes every entry whose value does not depend on any parameter
+    (zeros, fixed phases...).  The TNVM calls this once at
+    initialization, so the hot path only touches parameter-dependent
+    entries.
+
+``write(params, out, grad)``
+    The hot function: unpacks parameters, evaluates the CSE'd temporary
+    chain with ``math.sin``/``math.cos``/... scalar calls, and stores the
+    parameter-dependent complex entries.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..egraph.cost import op_cost
+from ..symbolic import expr as E
+from ..symbolic.expr import Expr
+
+__all__ = ["generate_source", "compile_writer", "CodegenResult"]
+
+_GLOBALS = {
+    "sin": math.sin,
+    "cos": math.cos,
+    "exp": math.exp,
+    "ln": math.log,
+    "sqrt": math.sqrt,
+    "pi": math.pi,
+}
+
+
+class CodegenResult:
+    """The compiled writer pair plus introspection data."""
+
+    __slots__ = (
+        "write",
+        "write_constants",
+        "source",
+        "num_dynamic_entries",
+        "num_constant_entries",
+        "total_cost",
+    )
+
+    def __init__(
+        self,
+        write,
+        write_constants,
+        source: str,
+        num_dynamic_entries: int,
+        num_constant_entries: int,
+        total_cost: float,
+    ):
+        self.write = write
+        self.write_constants = write_constants
+        self.source = source
+        self.num_dynamic_entries = num_dynamic_entries
+        self.num_constant_entries = num_constant_entries
+        self.total_cost = total_cost
+
+
+class _Emitter:
+    """Shared-subexpression-aware statement emitter."""
+
+    def __init__(self, param_index: dict[str, int]):
+        self.param_index = param_index
+        self.lines: list[str] = []
+        self.names: dict[int, str] = {}
+        self.counter = 0
+        self.used_params: set[int] = set()
+
+    def atom(self, node: Expr) -> str:
+        """Inline representation for leaves; temp name for composites."""
+        if node.op == "const":
+            return _literal(node.value)
+        if node.op == "pi":
+            return "pi"
+        if node.op == "var":
+            k = self.param_index[node.name]
+            self.used_params.add(k)
+            return f"p{k}"
+        return self.names[id(node)]
+
+    def emit(self, root: Expr) -> str:
+        """Emit statements computing ``root``; returns its atom string."""
+        for node in E.postorder(root):
+            if id(node) in self.names or node.op in ("const", "var", "pi"):
+                continue
+            args = [self.atom(c) for c in node.children]
+            op = node.op
+            if op == "+":
+                rhs = f"{args[0]} + {args[1]}"
+            elif op == "-":
+                rhs = f"{args[0]} - {args[1]}"
+            elif op == "~":
+                rhs = f"-{args[0]}"
+            elif op == "*":
+                rhs = f"{args[0]} * {args[1]}"
+            elif op == "/":
+                rhs = f"{args[0]} / {args[1]}"
+            elif op == "pow":
+                rhs = f"{args[0]} ** {args[1]}"
+            else:  # sin, cos, exp, ln, sqrt
+                rhs = f"{op}({args[0]})"
+            name = f"t{self.counter}"
+            self.counter += 1
+            self.names[id(node)] = name
+            self.lines.append(f"    {name} = {rhs}")
+        return self.atom(root)
+
+
+def _literal(value: float) -> str:
+    if value == int(value) and abs(value) < 1e16:
+        return repr(int(value))
+    return repr(value)
+
+
+def generate_source(
+    unitary_entries: list[tuple[tuple[int, int], Expr, Expr]],
+    grad_entries: list[tuple[tuple[int, int, int], Expr, Expr]],
+    param_names: tuple[str, ...],
+    func_name: str = "qgl_write",
+) -> tuple[str, int, int, float]:
+    """Generate the writer-pair source.
+
+    Parameters
+    ----------
+    unitary_entries:
+        ``((row, col), re_expr, im_expr)`` triples for the unitary.
+    grad_entries:
+        ``((param, row, col), re_expr, im_expr)`` triples for the
+        gradient; empty when differentiation is not requested.
+    param_names:
+        Parameter order defining ``params[k]``.
+
+    Returns ``(source, n_dynamic, n_constant, total_cost)``.
+    """
+    param_index = {name: k for k, name in enumerate(param_names)}
+
+    dynamic: list[tuple[str, Expr, Expr]] = []
+    constant: list[tuple[str, Expr, Expr]] = []
+    for (i, j), re_e, im_e in unitary_entries:
+        target = f"out[{i}, {j}]"
+        bucket = constant if _is_const(re_e, im_e) else dynamic
+        bucket.append((target, re_e, im_e))
+    for (k, i, j), re_e, im_e in grad_entries:
+        target = f"grad[{k}, {i}, {j}]"
+        bucket = constant if _is_const(re_e, im_e) else dynamic
+        bucket.append((target, re_e, im_e))
+
+    # Cost of the emitted code: every distinct node once, shared
+    # subexpressions across *all* entries counted a single time (this
+    # is exactly what the CSE'd straight-line code executes).
+    seen_nodes: set[int] = set()
+    total_cost = 0.0
+
+    def accumulate_cost(root: Expr) -> None:
+        nonlocal total_cost
+        for node in E.postorder(root):
+            if id(node) not in seen_nodes:
+                seen_nodes.add(id(node))
+                total_cost += op_cost(node.op)
+
+    lines = [f"def {func_name}(params, out, grad=None):"]
+    emitter = _Emitter(param_index)
+    body_start = len(lines)
+    stores: list[str] = []
+    for target, re_e, im_e in dynamic:
+        re_atom = emitter.emit(re_e)
+        im_atom = emitter.emit(im_e)
+        accumulate_cost(re_e)
+        accumulate_cost(im_e)
+        if im_e.is_zero:
+            stores.append(f"    {target} = {re_atom}")
+        else:
+            stores.append(f"    {target} = complex({re_atom}, {im_atom})")
+    param_unpack = [
+        f"    p{k} = params[{k}]" for k in sorted(emitter.used_params)
+    ]
+    lines[body_start:body_start] = param_unpack
+    lines.extend(emitter.lines)
+    lines.extend(stores)
+    if not (param_unpack or emitter.lines or stores):
+        lines.append("    pass")
+
+    out_stores: list[str] = []
+    grad_stores: list[str] = []
+    for target, re_e, im_e in constant:
+        rv = _const_value(re_e)
+        iv = _const_value(im_e)
+        store = f"    {target} = {complex(rv, iv)!r}"
+        (grad_stores if target.startswith("grad") else out_stores).append(
+            store
+        )
+    lines.append("")
+    lines.append(f"def {func_name}_constants_out(out):")
+    lines.extend(out_stores if out_stores else ["    pass"])
+    lines.append("")
+    lines.append(f"def {func_name}_constants_grad(grad):")
+    lines.extend(grad_stores if grad_stores else ["    pass"])
+    source = "\n".join(lines) + "\n"
+    return source, len(dynamic), len(constant), total_cost
+
+
+def compile_writer(
+    unitary_entries: list[tuple[tuple[int, int], Expr, Expr]],
+    grad_entries: list[tuple[tuple[int, int, int], Expr, Expr]],
+    param_names: tuple[str, ...],
+    func_name: str = "qgl_write",
+) -> CodegenResult:
+    """Generate, compile, and return the writer pair."""
+    source, n_dyn, n_const, cost = generate_source(
+        unitary_entries, grad_entries, param_names, func_name
+    )
+    namespace = dict(_GLOBALS)
+    code = compile(source, f"<qgl-jit:{func_name}>", "exec")
+    exec(code, namespace)
+    constants_out = namespace[f"{func_name}_constants_out"]
+    constants_grad = namespace[f"{func_name}_constants_grad"]
+
+    def write_constants(out, grad=None):
+        constants_out(out)
+        if grad is not None:
+            constants_grad(grad)
+
+    return CodegenResult(
+        write=namespace[func_name],
+        write_constants=write_constants,
+        source=source,
+        num_dynamic_entries=n_dyn,
+        num_constant_entries=n_const,
+        total_cost=cost,
+    )
+
+
+def _is_const(re_e: Expr, im_e: Expr) -> bool:
+    return re_e.constant_value() is not None and (
+        im_e.constant_value() is not None
+    )
+
+
+def _const_value(e: Expr) -> float:
+    v = e.constant_value()
+    assert v is not None
+    return v

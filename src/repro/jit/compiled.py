@@ -1,0 +1,166 @@
+"""CompiledExpression: the JIT'd form of a QGL unitary expression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..egraph.runner import RunnerLimits, simplify_all
+from ..symbolic.matrix import ExpressionMatrix
+from .codegen import CodegenResult, compile_writer
+
+__all__ = ["CompiledExpression"]
+
+
+class CompiledExpression:
+    """A gate expression compiled to fast native-Python writers.
+
+    Construction performs the full expression pipeline from paper
+    sections III-C and IV-B:
+
+    1. symbolic differentiation of the unitary (if ``grad=True``),
+    2. a joint e-graph simplification pass over every real/imaginary
+       component of the unitary and gradient (if ``simplify=True``),
+    3. code generation and compilation of the specialized writers.
+
+    The compiled object is immutable and safe to share: the TNVM of
+    every circuit referencing the same gate reuses one instance through
+    the :class:`~repro.jit.cache.ExpressionCache`.
+    """
+
+    __slots__ = (
+        "matrix",
+        "shape",
+        "radices",
+        "num_params",
+        "name",
+        "_result",
+        "simplified",
+        "_has_grad",
+    )
+
+    def __init__(
+        self,
+        matrix: ExpressionMatrix,
+        grad: bool = True,
+        simplify: bool = True,
+        limits: RunnerLimits | None = None,
+    ):
+        self.matrix = matrix
+        self.shape = matrix.shape
+        self.radices = tuple(matrix.radices)
+        self.num_params = matrix.num_params
+        self.name = matrix.name
+
+        grads = matrix.gradient() if grad else []
+        self._has_grad = bool(grads)
+
+        # Collect every scalar component in deterministic order; the
+        # greedy extractor's zero-cost CSE works across this whole batch.
+        roots = []
+        u_slots = []
+        for (i, j), elem in matrix.elements():
+            u_slots.append(((i, j), len(roots)))
+            roots.append(elem.re)
+            roots.append(elem.im)
+        g_slots = []
+        for k, gmat in enumerate(grads):
+            for (i, j), elem in gmat.elements():
+                g_slots.append(((k, i, j), len(roots)))
+                roots.append(elem.re)
+                roots.append(elem.im)
+
+        if simplify:
+            roots = simplify_all(roots, limits=limits)
+        self.simplified = simplify
+
+        unitary_entries = [
+            (slot, roots[base], roots[base + 1]) for slot, base in u_slots
+        ]
+        grad_entries = [
+            (slot, roots[base], roots[base + 1]) for slot, base in g_slots
+        ]
+        func_name = _sanitize(matrix.name) or "expr"
+        self._result: CodegenResult = compile_writer(
+            unitary_entries, grad_entries, matrix.params, func_name
+        )
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    @property
+    def write(self):
+        """``write(params, out, grad=None)`` — the JIT'd hot function."""
+        return self._result.write
+
+    @property
+    def write_constants(self):
+        """One-time writer for parameter-independent entries."""
+        return self._result.write_constants
+
+    # ------------------------------------------------------------------
+    # Convenience (allocating) entry points
+    # ------------------------------------------------------------------
+    def unitary(self, params=(), dtype=np.complex128) -> np.ndarray:
+        self._check(params)
+        out = np.zeros(self.shape, dtype=dtype)
+        if self._has_grad:
+            # The hot writer was specialized for gradient output; feed
+            # it a throwaway stack on this (cold) convenience path.
+            grad = np.zeros((self.num_params,) + self.shape, dtype=dtype)
+            self._result.write(tuple(params), out, grad)
+        else:
+            self._result.write(tuple(params), out)
+        self._result.write_constants(out)
+        return out
+
+    def unitary_and_grad(
+        self, params=(), dtype=np.complex128
+    ) -> tuple[np.ndarray, np.ndarray]:
+        self._check(params)
+        out = np.zeros(self.shape, dtype=dtype)
+        grad = np.zeros((self.num_params,) + self.shape, dtype=dtype)
+        self._result.write_constants(out, grad)
+        self._result.write(tuple(params), out, grad)
+        return out, grad
+
+    def _check(self, params) -> None:
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"{self.name or 'expression'} expects {self.num_params} "
+                f"parameters, got {len(params)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> str:
+        """The generated Python source (the JIT 'assembly listing')."""
+        return self._result.source
+
+    @property
+    def total_cost(self) -> float:
+        """Table I cost of the compiled dynamic entries."""
+        return self._result.total_cost
+
+    @property
+    def num_dynamic_entries(self) -> int:
+        """Entries rewritten on every call (parameter-dependent)."""
+        return self._result.num_dynamic_entries
+
+    @property
+    def num_constant_entries(self) -> int:
+        """Entries written once at initialization."""
+        return self._result.num_constant_entries
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompiledExpression {self.name or '?'} {self.shape} "
+            f"params={self.num_params} cost={self.total_cost:.1f}>"
+        )
+
+
+def _sanitize(name: str | None) -> str:
+    if not name:
+        return ""
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)

@@ -1,0 +1,49 @@
+"""The Qudit Gate Language (QGL) front end: lexer, parser, lowering."""
+
+from .ast import (
+    Binary,
+    Call,
+    Definition,
+    MatrixLiteral,
+    Number,
+    Unary,
+    Variable,
+)
+from .errors import QGLError, QGLSemanticError, QGLSyntaxError
+from .lexer import Token, tokenize
+from .lower import lower_definition, lower_expression
+from .parser import parse_definition, parse_expression_text
+
+__all__ = [
+    "parse_unitary",
+    "parse_definition",
+    "parse_expression_text",
+    "lower_definition",
+    "lower_expression",
+    "tokenize",
+    "Token",
+    "QGLError",
+    "QGLSyntaxError",
+    "QGLSemanticError",
+    "Definition",
+    "Variable",
+    "Number",
+    "Call",
+    "Unary",
+    "Binary",
+    "MatrixLiteral",
+]
+
+
+def parse_unitary(source: str):
+    """Parse a QGL gate definition and lower it to the matrix IR.
+
+    This is the one-call front door used by
+    :class:`repro.expression.UnitaryExpression`::
+
+        u3 = parse_unitary('''U3(θ, ϕ, λ) {
+            [[cos(θ/2), ~e^(i*λ)*sin(θ/2)],
+             [e^(i*ϕ)*sin(θ/2), e^(i*(ϕ+λ))*cos(θ/2)]]
+        }''')
+    """
+    return lower_definition(parse_definition(source))

@@ -1,0 +1,82 @@
+"""Abstract syntax tree for QGL (the Figure 2 grammar)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Node",
+    "Variable",
+    "Number",
+    "Call",
+    "Unary",
+    "Binary",
+    "MatrixLiteral",
+    "Definition",
+]
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base AST node with the source position of its first token."""
+
+    line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class Variable(Node):
+    """A variable reference; ``i``, ``e`` and ``pi`` are reserved."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Number(Node):
+    """A numeric literal."""
+
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """A built-in function application, e.g. ``cos(θ/2)``."""
+
+    func: str = ""
+    args: tuple["Node", ...] = ()
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    """Unary negation, written ``~`` in QGL."""
+
+    operand: Node = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    """A binary operation: ``+``, ``-``, ``*``, ``/`` or ``^``."""
+
+    op: str = ""
+    left: Node = None  # type: ignore[assignment]
+    right: Node = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class MatrixLiteral(Node):
+    """An explicit matrix: ``[[a, b], [c, d]]``."""
+
+    rows: tuple[tuple[Node, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class Definition(Node):
+    """A top-level gate definition.
+
+    ``name [radices] (params) { body }``
+    """
+
+    name: str = ""
+    radices: tuple[int, ...] | None = None
+    params: tuple[str, ...] = ()
+    body: Node = None  # type: ignore[assignment]

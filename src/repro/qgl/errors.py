@@ -1,0 +1,29 @@
+"""Source-located error types for the Qudit Gate Language."""
+
+from __future__ import annotations
+
+__all__ = ["QGLError", "QGLSyntaxError", "QGLSemanticError"]
+
+
+class QGLError(Exception):
+    """Base class for QGL front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class QGLSyntaxError(QGLError):
+    """Raised when the source text does not match the Figure 2 grammar."""
+
+
+class QGLSemanticError(QGLError):
+    """Raised for well-formed but meaningless definitions.
+
+    Examples: a non-square matrix body, a radix/dimension mismatch, a
+    matrix whose dimension is not a power of two when radices are
+    omitted, or an expression that is not closed element-wise form.
+    """

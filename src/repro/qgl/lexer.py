@@ -1,0 +1,157 @@
+"""Lexical analysis for QGL.
+
+Tokenizes gate-definition source such as::
+
+    U3(θ, ϕ, λ) {
+        [[cos(θ/2), ~e^(i*λ)*sin(θ/2)],
+         [e^(i*ϕ)*sin(θ/2), e^(i*(ϕ+λ))*cos(θ/2)]]
+    }
+
+Identifiers may contain any Unicode letters (Greek parameter names are
+idiomatic).  ``^`` and the ASCII variants ``ˆ``/``˜`` used in the paper's
+listings are accepted for power and negation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import QGLSyntaxError
+
+__all__ = ["Token", "tokenize", "TokenStream"]
+
+# Single-character symbol tokens.  The unicode look-alikes that appear in
+# the paper's typeset listings normalize to their ASCII forms.
+_SYMBOLS = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    "<": "LANGLE",
+    ">": "RANGLE",
+    ",": "COMMA",
+    ";": "SEMI",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+    "^": "CARET",
+    "ˆ": "CARET",
+    "~": "TILDE",
+    "˜": "TILDE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source position (1-based)."""
+
+    kind: str  # IDENT, NUMBER, or a symbol kind from _SYMBOLS, or EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}@{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize QGL source text, raising QGLSyntaxError on bad input."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            col += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in _SYMBOLS:
+            yield Token(_SYMBOLS[ch], ch, line, col)
+            i += 1
+            col += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_col = col
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == ".":
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    i = j
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            col += i - start
+            yield Token("NUMBER", text, line, start_col)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            yield Token("IDENT", text, line, start_col)
+            continue
+        raise QGLSyntaxError(f"unexpected character {ch!r}", line, col)
+    yield Token("EOF", "", line, col)
+
+
+class TokenStream:
+    """A peekable cursor over a token list, used by the parser."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind != "EOF":
+            self._pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.peek()
+        if tok.kind != kind:
+            raise QGLSyntaxError(
+                f"expected {kind}, found {tok.kind} ({tok.text!r})",
+                tok.line,
+                tok.column,
+            )
+        return self.next()
+
+    def accept(self, kind: str) -> Token | None:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    @property
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"

@@ -1,0 +1,313 @@
+"""Lowering from QGL abstract syntax to the symbolic matrix IR.
+
+Implements the semantics of paper section III-A/B: expressions are
+evaluated over complex symbolic scalars and matrices, ``i``/``e``/``pi``
+are reserved, all trigonometric functions canonicalize to ``sin``/``cos``,
+``e^(i*x)`` lowers to ``cos(x) + i*sin(x)``, and a key constraint is
+enforced — every expression must be in closed element-wise form (no
+matrix exponential).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..symbolic import complexexpr as CE
+from ..symbolic import expr as E
+from ..symbolic.complexexpr import CI, CONE, ComplexExpr
+from ..symbolic.matrix import ExpressionMatrix
+from . import ast as A
+from .errors import QGLSemanticError
+
+__all__ = ["lower_definition", "lower_expression"]
+
+#: Names reserved for mathematical constants (paper section III-A).
+RESERVED = frozenset({"i", "e", "pi", "π"})
+
+
+class _Euler:
+    """Sentinel for the reserved variable ``e`` when used as a power base.
+
+    If ``e`` appears in any other position it decays to the numeric
+    constant 2.71828...
+    """
+
+    __slots__ = ()
+
+    def decay(self) -> ComplexExpr:
+        return ComplexExpr(E.const(math.e), E.ZERO)
+
+
+_EULER = _Euler()
+
+_Value = ComplexExpr | ExpressionMatrix | _Euler
+
+
+def lower_definition(defn: A.Definition) -> ExpressionMatrix:
+    """Lower a parsed definition to a validated :class:`ExpressionMatrix`."""
+    env = {p: ComplexExpr(E.var(p), E.ZERO) for p in defn.params}
+    clash = RESERVED.intersection(defn.params)
+    if clash:
+        raise QGLSemanticError(
+            f"parameter names shadow reserved constants: {sorted(clash)}",
+            defn.line,
+            defn.column,
+        )
+    value = _lower(defn.body, env)
+    if isinstance(value, _Euler):
+        value = value.decay()
+    if isinstance(value, ComplexExpr):
+        raise QGLSemanticError(
+            f"definition {defn.name} must produce a matrix, got a scalar",
+            defn.line,
+            defn.column,
+        )
+    rows, cols = value.shape
+    if rows != cols:
+        raise QGLSemanticError(
+            f"definition {defn.name} produces a non-square "
+            f"{rows}x{cols} matrix",
+            defn.line,
+            defn.column,
+        )
+    if defn.radices is not None:
+        expected = math.prod(defn.radices)
+        if expected != rows:
+            raise QGLSemanticError(
+                f"radices {list(defn.radices)} imply dimension {expected}, "
+                f"but {defn.name} produces a {rows}x{rows} matrix",
+                defn.line,
+                defn.column,
+            )
+        radices = defn.radices
+    else:
+        if rows < 2 or rows & (rows - 1):
+            raise QGLSemanticError(
+                f"{defn.name} has dimension {rows}, which is not a power "
+                "of two; qudit gates must declare radices, e.g. <3>",
+                defn.line,
+                defn.column,
+            )
+        radices = (2,) * (rows.bit_length() - 1)
+
+    used = set()
+    for _, elem in value.elements():
+        used.update(elem.free_variables())
+    undeclared = used.difference(defn.params)
+    if undeclared:
+        raise QGLSemanticError(
+            f"{defn.name} uses undeclared parameters: {sorted(undeclared)}",
+            defn.line,
+            defn.column,
+        )
+    return ExpressionMatrix(
+        value._data,
+        params=defn.params,
+        radices=radices,
+        name=defn.name,
+    )
+
+
+def lower_expression(
+    node: A.Node, params: tuple[str, ...] = ()
+) -> _Value:
+    """Lower a bare expression with the given free parameter names."""
+    env = {p: ComplexExpr(E.var(p), E.ZERO) for p in params}
+    value = _lower(node, env)
+    return value.decay() if isinstance(value, _Euler) else value
+
+
+# ----------------------------------------------------------------------
+
+
+def _lower(node: A.Node, env: dict[str, ComplexExpr]) -> _Value:
+    if isinstance(node, A.Number):
+        return ComplexExpr(E.const(node.value), E.ZERO)
+    if isinstance(node, A.Variable):
+        return _variable(node, env)
+    if isinstance(node, A.Unary):
+        operand = _scalar_or_matrix(_lower(node.operand, env))
+        if isinstance(operand, ExpressionMatrix):
+            return operand.scale(-1.0)
+        return -operand
+    if isinstance(node, A.Binary):
+        return _binary(node, env)
+    if isinstance(node, A.Call):
+        return _call(node, env)
+    if isinstance(node, A.MatrixLiteral):
+        return _matrix_literal(node, env)
+    raise AssertionError(f"unhandled AST node {type(node).__name__}")
+
+
+def _variable(node: A.Variable, env: dict[str, ComplexExpr]) -> _Value:
+    name = node.name
+    if name == "i":
+        return CI
+    if name == "e":
+        return _EULER
+    if name in ("pi", "π"):
+        return ComplexExpr(E.PI, E.ZERO)
+    if name in env:
+        return env[name]
+    raise QGLSemanticError(
+        f"unknown variable {name!r} (declare it as a gate parameter)",
+        node.line,
+        node.column,
+    )
+
+
+def _binary(node: A.Binary, env: dict[str, ComplexExpr]) -> _Value:
+    if node.op == "^":
+        return _power(node, env)
+    left = _scalar_or_matrix(_lower(node.left, env))
+    right = _scalar_or_matrix(_lower(node.right, env))
+    lmat = isinstance(left, ExpressionMatrix)
+    rmat = isinstance(right, ExpressionMatrix)
+    op = node.op
+    if op == "+":
+        if lmat != rmat:
+            raise QGLSemanticError(
+                "cannot add a matrix and a scalar", node.line, node.column
+            )
+        return left + right
+    if op == "-":
+        if lmat != rmat:
+            raise QGLSemanticError(
+                "cannot subtract a matrix and a scalar",
+                node.line,
+                node.column,
+            )
+        if lmat:
+            return left + right.scale(-1.0)
+        return left - right
+    if op == "*":
+        if lmat and rmat:
+            return left @ right
+        if lmat:
+            return left.scale(right)
+        if rmat:
+            return right.scale(left)
+        return left * right
+    if op == "/":
+        if rmat:
+            raise QGLSemanticError(
+                "cannot divide by a matrix", node.line, node.column
+            )
+        if lmat:
+            return left.scale(CONE / right)
+        return left / right
+    raise AssertionError(node.op)
+
+
+def _power(node: A.Binary, env: dict[str, ComplexExpr]) -> _Value:
+    base = _lower(node.left, env)
+    exponent = _scalar_or_matrix(_lower(node.right, env))
+    if isinstance(exponent, ExpressionMatrix):
+        raise QGLSemanticError(
+            "matrix exponents are not expressible in closed "
+            "element-wise form",
+            node.line,
+            node.column,
+        )
+    if isinstance(base, _Euler):
+        # e^z lowers element-wise: e^(x+iy) = e^x (cos y + i sin y).
+        return exponent.exp()
+    if isinstance(base, ExpressionMatrix):
+        power = exponent.constant_value()
+        if power is None or power.imag or power.real != int(power.real):
+            raise QGLSemanticError(
+                "matrix powers must be literal integers (the matrix "
+                "exponential is excluded from QGL)",
+                node.line,
+                node.column,
+            )
+        k = int(power.real)
+        if k < 0:
+            base = base.dagger()
+            k = -k
+        result = ExpressionMatrix.identity(base.dim)
+        for _ in range(k):
+            result = result @ base
+        return result
+    # scalar ^ scalar
+    cexp = exponent.constant_value()
+    if cexp is not None and cexp.imag == 0 and cexp.real == int(cexp.real):
+        return base ** int(cexp.real)
+    if base.is_real and exponent.is_real:
+        return ComplexExpr(E.power(base.re, exponent.re), E.ZERO)
+    raise QGLSemanticError(
+        "unsupported power: base and exponent must be real, or the "
+        "exponent a literal integer, or the base the constant e",
+        node.line,
+        node.column,
+    )
+
+
+def _call(node: A.Call, env: dict[str, ComplexExpr]) -> _Value:
+    args = [_scalar_or_matrix(_lower(a, env)) for a in node.args]
+    if any(isinstance(a, ExpressionMatrix) for a in args):
+        raise QGLSemanticError(
+            f"{node.func} expects scalar arguments", node.line, node.column
+        )
+    if len(args) != 1:
+        raise QGLSemanticError(
+            f"{node.func} expects exactly one argument",
+            node.line,
+            node.column,
+        )
+    (z,) = args
+    func = node.func
+    if func == "cis":
+        _require_real(z, func, node)
+        return ComplexExpr.cis(z.re)
+    if func == "exp":
+        return z.exp()
+    if func in ("sin", "cos", "tan"):
+        _require_real(z, func, node)
+        if func == "sin":
+            return ComplexExpr(E.sin(z.re), E.ZERO)
+        if func == "cos":
+            return ComplexExpr(E.cos(z.re), E.ZERO)
+        # tan canonicalizes to sin/cos (paper section III-B).
+        return ComplexExpr(E.div(E.sin(z.re), E.cos(z.re)), E.ZERO)
+    if func in ("ln", "log"):
+        _require_real(z, func, node)
+        return ComplexExpr(E.ln(z.re), E.ZERO)
+    if func == "sqrt":
+        _require_real(z, func, node)
+        return ComplexExpr(E.sqrt(z.re), E.ZERO)
+    raise QGLSemanticError(
+        f"unknown function {func!r}", node.line, node.column
+    )
+
+
+def _matrix_literal(
+    node: A.MatrixLiteral, env: dict[str, ComplexExpr]
+) -> ExpressionMatrix:
+    rows = []
+    for row in node.rows:
+        lowered = []
+        for elem in row:
+            value = _scalar_or_matrix(_lower(elem, env))
+            if isinstance(value, ExpressionMatrix):
+                raise QGLSemanticError(
+                    "nested matrices are not allowed as matrix elements",
+                    node.line,
+                    node.column,
+                )
+            lowered.append(value)
+        rows.append(lowered)
+    return ExpressionMatrix(rows, radices=None)
+
+
+def _scalar_or_matrix(value: _Value) -> ComplexExpr | ExpressionMatrix:
+    if isinstance(value, _Euler):
+        return value.decay()
+    return value
+
+
+def _require_real(z: ComplexExpr, func: str, node: A.Node) -> None:
+    if not z.is_real:
+        raise QGLSemanticError(
+            f"{func} requires a real argument", node.line, node.column
+        )

@@ -1,0 +1,249 @@
+"""Recursive-descent parser for the QGL grammar of Figure 2.
+
+The grammar (metavariables italic in the paper)::
+
+    definition ::= ident [radices] ( [varlist] ) { expression } [;]
+    radices    ::= < intlist >
+    expression ::= term {(+|-) term}
+    term       ::= {~} factor {(*|/) factor}
+    factor     ::= primary {^ primary}
+    primary    ::= variable | constant | function | matrix | (expression)
+    matrix     ::= [ row {, row} [,] ]
+    row        ::= [ exprlist ]
+
+Standard operator precedence falls out of the level structure: ``^``
+binds tightest, then unary ``~``, then ``*``/``/``, then ``+``/``-``.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from .errors import QGLSyntaxError
+from .lexer import Token, TokenStream, tokenize
+
+__all__ = ["parse_definition", "parse_expression_text", "BUILTIN_FUNCTIONS"]
+
+#: Built-in functions available in QGL expressions (paper section III-A).
+BUILTIN_FUNCTIONS = frozenset(
+    {"sin", "cos", "tan", "exp", "ln", "log", "sqrt", "cis"}
+)
+
+
+def parse_definition(source: str) -> A.Definition:
+    """Parse a full QGL gate definition."""
+    stream = TokenStream(tokenize(source))
+    defn = _definition(stream)
+    if not stream.at_end:
+        tok = stream.peek()
+        raise QGLSyntaxError(
+            f"trailing input after definition: {tok.text!r}",
+            tok.line,
+            tok.column,
+        )
+    return defn
+
+
+def parse_expression_text(source: str) -> A.Node:
+    """Parse a bare QGL expression (no name/params header)."""
+    stream = TokenStream(tokenize(source))
+    expr = _expression(stream)
+    if not stream.at_end:
+        tok = stream.peek()
+        raise QGLSyntaxError(
+            f"trailing input after expression: {tok.text!r}",
+            tok.line,
+            tok.column,
+        )
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Grammar productions
+# ----------------------------------------------------------------------
+
+def _definition(s: TokenStream) -> A.Definition:
+    name_tok = s.expect("IDENT")
+    radices: tuple[int, ...] | None = None
+    if s.accept("LANGLE"):
+        radices = _int_list(s)
+        s.expect("RANGLE")
+    s.expect("LPAREN")
+    params: list[str] = []
+    if s.peek().kind != "RPAREN":
+        params.append(s.expect("IDENT").text)
+        while s.accept("COMMA"):
+            params.append(s.expect("IDENT").text)
+    s.expect("RPAREN")
+    s.expect("LBRACE")
+    body = _expression(s)
+    s.expect("RBRACE")
+    s.accept("SEMI")
+    if len(set(params)) != len(params):
+        raise QGLSyntaxError(
+            f"duplicate parameter names in {name_tok.text}",
+            name_tok.line,
+            name_tok.column,
+        )
+    return A.Definition(
+        name=name_tok.text,
+        radices=radices,
+        params=tuple(params),
+        body=body,
+        line=name_tok.line,
+        column=name_tok.column,
+    )
+
+
+def _int_list(s: TokenStream) -> tuple[int, ...]:
+    values: list[int] = []
+    tok = s.expect("NUMBER")
+    values.append(_as_int(tok))
+    while s.accept("COMMA"):
+        tok = s.expect("NUMBER")
+        values.append(_as_int(tok))
+    return tuple(values)
+
+
+def _as_int(tok: Token) -> int:
+    value = float(tok.text)
+    if value != int(value):
+        raise QGLSyntaxError(
+            f"expected integer radix, found {tok.text}", tok.line, tok.column
+        )
+    return int(value)
+
+
+def _expression(s: TokenStream) -> A.Node:
+    node = _term(s)
+    while True:
+        tok = s.peek()
+        if tok.kind == "PLUS":
+            s.next()
+            node = A.Binary(
+                op="+", left=node, right=_term(s),
+                line=tok.line, column=tok.column,
+            )
+        elif tok.kind == "MINUS":
+            s.next()
+            node = A.Binary(
+                op="-", left=node, right=_term(s),
+                line=tok.line, column=tok.column,
+            )
+        else:
+            return node
+
+
+def _term(s: TokenStream) -> A.Node:
+    negations = 0
+    first_tilde: Token | None = None
+    while s.peek().kind == "TILDE":
+        tok = s.next()
+        if first_tilde is None:
+            first_tilde = tok
+        negations += 1
+    node = _factor(s)
+    while True:
+        tok = s.peek()
+        if tok.kind == "STAR":
+            s.next()
+            node = A.Binary(
+                op="*", left=node, right=_factor(s),
+                line=tok.line, column=tok.column,
+            )
+        elif tok.kind == "SLASH":
+            s.next()
+            node = A.Binary(
+                op="/", left=node, right=_factor(s),
+                line=tok.line, column=tok.column,
+            )
+        else:
+            break
+    if negations % 2 == 1:
+        node = A.Unary(
+            operand=node, line=first_tilde.line, column=first_tilde.column
+        )
+    return node
+
+
+def _factor(s: TokenStream) -> A.Node:
+    node = _primary(s)
+    while s.peek().kind == "CARET":
+        tok = s.next()
+        # Right-associative power, matching mathematical convention.
+        rhs = _factor(s)
+        node = A.Binary(
+            op="^", left=node, right=rhs, line=tok.line, column=tok.column
+        )
+    return node
+
+
+def _primary(s: TokenStream) -> A.Node:
+    tok = s.peek()
+    if tok.kind == "NUMBER":
+        s.next()
+        return A.Number(
+            value=float(tok.text), line=tok.line, column=tok.column
+        )
+    if tok.kind == "IDENT":
+        s.next()
+        if s.peek().kind == "LPAREN" and tok.text in BUILTIN_FUNCTIONS:
+            s.next()
+            args = [_expression(s)]
+            while s.accept("COMMA"):
+                args.append(_expression(s))
+            s.expect("RPAREN")
+            return A.Call(
+                func=tok.text, args=tuple(args),
+                line=tok.line, column=tok.column,
+            )
+        return A.Variable(name=tok.text, line=tok.line, column=tok.column)
+    if tok.kind == "LPAREN":
+        s.next()
+        node = _expression(s)
+        s.expect("RPAREN")
+        return node
+    if tok.kind == "LBRACKET":
+        return _matrix(s)
+    if tok.kind == "MINUS":
+        # Tolerate a leading ASCII minus as negation inside primaries,
+        # e.g. ``[-1, 0]`` — common in hand-written matrices.
+        s.next()
+        return A.Unary(
+            operand=_factor(s), line=tok.line, column=tok.column
+        )
+    raise QGLSyntaxError(
+        f"unexpected token {tok.text!r}", tok.line, tok.column
+    )
+
+
+def _matrix(s: TokenStream) -> A.Node:
+    open_tok = s.expect("LBRACKET")
+    rows: list[tuple[A.Node, ...]] = []
+    while True:
+        if s.peek().kind == "RBRACKET" and rows:
+            break
+        rows.append(_row(s))
+        if not s.accept("COMMA"):
+            break
+    s.expect("RBRACKET")
+    widths = {len(r) for r in rows}
+    if len(widths) != 1:
+        raise QGLSyntaxError(
+            "matrix rows have differing lengths",
+            open_tok.line,
+            open_tok.column,
+        )
+    return A.MatrixLiteral(
+        rows=tuple(rows), line=open_tok.line, column=open_tok.column
+    )
+
+
+def _row(s: TokenStream) -> tuple[A.Node, ...]:
+    s.expect("LBRACKET")
+    elems = [_expression(s)]
+    while s.accept("COMMA"):
+        if s.peek().kind == "RBRACKET":
+            break
+        elems.append(_expression(s))
+    s.expect("RBRACKET")
+    return tuple(elems)

@@ -1,0 +1,572 @@
+"""Real-valued symbolic expression trees.
+
+This module implements the scalar half of the OpenQudit symbolic IR
+(paper section III-B).  Every matrix element in the IR is a pair of these
+trees (one for the real part, one for the imaginary part); see
+:mod:`repro.symbolic.complexexpr`.
+
+Expressions are immutable and *hash-consed*: structurally identical
+subtrees are represented by the same object, so common subexpressions are
+shared for free.  This mirrors the e-graph-friendly design of the Rust
+implementation and makes the JIT's common-subexpression elimination a
+simple identity-based topological walk.
+
+The operator set matches the paper's Table I cost model:
+
+====================  =======================================
+kind                  meaning
+====================  =======================================
+``const``             floating point literal
+``var``               free variable (gate parameter)
+``pi``                the constant pi
+``+ - ~ * /``         arithmetic (``~`` is unary negation)
+``pow``               power
+``sin cos``           trigonometric functions
+``exp ln sqrt``       exponential, natural log, square root
+====================  =======================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Iterator, Mapping
+
+__all__ = [
+    "Expr",
+    "const",
+    "var",
+    "pi",
+    "add",
+    "sub",
+    "neg",
+    "mul",
+    "div",
+    "power",
+    "sin",
+    "cos",
+    "exp",
+    "ln",
+    "sqrt",
+    "ZERO",
+    "ONE",
+    "TWO",
+    "HALF",
+    "NEG_ONE",
+    "PI",
+    "free_variables",
+    "substitute",
+    "rename_variables",
+    "evaluate",
+    "to_sexpr",
+    "from_sexpr",
+    "node_count",
+    "postorder",
+]
+
+# Operators with their arities.  ``const`` and ``var`` carry payloads and
+# have no children.
+_ARITY = {
+    "const": 0,
+    "var": 0,
+    "pi": 0,
+    "+": 2,
+    "-": 2,
+    "~": 1,
+    "*": 2,
+    "/": 2,
+    "pow": 2,
+    "sin": 1,
+    "cos": 1,
+    "exp": 1,
+    "ln": 1,
+    "sqrt": 1,
+}
+
+_FUNCTION_OPS = frozenset({"sin", "cos", "exp", "ln", "sqrt"})
+
+
+class Expr:
+    """An immutable, interned symbolic expression node.
+
+    Do not call the constructor directly; use the factory functions
+    (:func:`const`, :func:`var`, :func:`add`, ...) or the overloaded
+    Python operators, which perform light local simplification.
+    """
+
+    __slots__ = ("op", "value", "name", "children", "_hash")
+
+    _intern: dict[tuple, "Expr"] = {}
+
+    def __new__(
+        cls,
+        op: str,
+        children: tuple["Expr", ...] = (),
+        value: float | None = None,
+        name: str | None = None,
+    ) -> "Expr":
+        if op not in _ARITY:
+            raise ValueError(f"unknown expression operator: {op!r}")
+        if len(children) != _ARITY[op]:
+            raise ValueError(
+                f"operator {op!r} expects {_ARITY[op]} children, "
+                f"got {len(children)}"
+            )
+        key = (op, value, name, tuple(id(c) for c in children))
+        cached = cls._intern.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(self, "_hash", hash(key))
+        cls._intern[key] = self
+        return self
+
+    def __setattr__(self, *_args) -> None:
+        raise AttributeError("Expr is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        # Interning makes identity equivalent to structural equality.
+        return self is other
+
+    # ------------------------------------------------------------------
+    # Python operator sugar
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Expr | float") -> "Expr":
+        return add(self, _coerce(other))
+
+    def __radd__(self, other: "Expr | float") -> "Expr":
+        return add(_coerce(other), self)
+
+    def __sub__(self, other: "Expr | float") -> "Expr":
+        return sub(self, _coerce(other))
+
+    def __rsub__(self, other: "Expr | float") -> "Expr":
+        return sub(_coerce(other), self)
+
+    def __mul__(self, other: "Expr | float") -> "Expr":
+        return mul(self, _coerce(other))
+
+    def __rmul__(self, other: "Expr | float") -> "Expr":
+        return mul(_coerce(other), self)
+
+    def __truediv__(self, other: "Expr | float") -> "Expr":
+        return div(self, _coerce(other))
+
+    def __rtruediv__(self, other: "Expr | float") -> "Expr":
+        return div(_coerce(other), self)
+
+    def __neg__(self) -> "Expr":
+        return neg(self)
+
+    def __pow__(self, other: "Expr | float") -> "Expr":
+        return power(self, _coerce(other))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """True when the node is a literal constant or pi."""
+        return self.op in ("const", "pi")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.op == "const" and self.value == 0.0
+
+    @property
+    def is_one(self) -> bool:
+        return self.op == "const" and self.value == 1.0
+
+    def constant_value(self) -> float | None:
+        """The numeric value if the node is a literal, else None."""
+        if self.op == "const":
+            return self.value
+        if self.op == "pi":
+            return math.pi
+        return None
+
+    def __repr__(self) -> str:
+        return f"Expr({to_sexpr(self)})"
+
+    def __str__(self) -> str:
+        return to_infix(self)
+
+
+def _coerce(x: "Expr | float | int") -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int, float)):
+        return const(float(x))
+    raise TypeError(f"cannot coerce {type(x).__name__} to Expr")
+
+
+# ----------------------------------------------------------------------
+# Factory functions (smart constructors with local folding)
+# ----------------------------------------------------------------------
+
+def const(value: float) -> Expr:
+    """A floating-point literal."""
+    value = float(value)
+    if value == 0.0:
+        value = 0.0  # normalize -0.0
+    return Expr("const", value=value)
+
+
+def var(name: str) -> Expr:
+    """A free variable (a gate parameter such as ``theta``)."""
+    if not name:
+        raise ValueError("variable name must be non-empty")
+    return Expr("var", name=name)
+
+
+def pi() -> Expr:
+    """The constant pi (cost 0 in the Table I model)."""
+    return Expr("pi")
+
+
+ZERO = const(0.0)
+ONE = const(1.0)
+TWO = const(2.0)
+HALF = const(0.5)
+NEG_ONE = const(-1.0)
+PI = pi()
+
+
+def add(a: Expr, b: Expr) -> Expr:
+    if a.is_zero:
+        return b
+    if b.is_zero:
+        return a
+    av, bv = a.constant_value(), b.constant_value()
+    if a.op == "const" and b.op == "const":
+        return const(av + bv)
+    return Expr("+", (a, b))
+
+
+def sub(a: Expr, b: Expr) -> Expr:
+    if b.is_zero:
+        return a
+    if a.is_zero:
+        return neg(b)
+    if a.op == "const" and b.op == "const":
+        return const(a.value - b.value)
+    if a is b:
+        return ZERO
+    return Expr("-", (a, b))
+
+
+def neg(a: Expr) -> Expr:
+    if a.op == "const":
+        return const(-a.value)
+    if a.op == "~":
+        return a.children[0]
+    return Expr("~", (a,))
+
+
+def mul(a: Expr, b: Expr) -> Expr:
+    if a.is_zero or b.is_zero:
+        return ZERO
+    if a.is_one:
+        return b
+    if b.is_one:
+        return a
+    if a.op == "const" and b.op == "const":
+        return const(a.value * b.value)
+    if a.op == "const" and a.value == -1.0:
+        return neg(b)
+    if b.op == "const" and b.value == -1.0:
+        return neg(a)
+    return Expr("*", (a, b))
+
+
+def div(a: Expr, b: Expr) -> Expr:
+    if b.is_zero:
+        raise ZeroDivisionError("symbolic division by literal zero")
+    if a.is_zero:
+        return ZERO
+    if b.is_one:
+        return a
+    if a.op == "const" and b.op == "const":
+        return const(a.value / b.value)
+    if a is b:
+        return ONE
+    return Expr("/", (a, b))
+
+
+def power(a: Expr, b: Expr) -> Expr:
+    if b.is_zero:
+        return ONE
+    if b.is_one:
+        return a
+    if a.op == "const" and b.op == "const":
+        return const(a.value ** b.value)
+    return Expr("pow", (a, b))
+
+
+def sin(a: Expr) -> Expr:
+    v = a.constant_value()
+    if v is not None:
+        return const(math.sin(v))
+    if a.op == "~":
+        return neg(sin(a.children[0]))
+    return Expr("sin", (a,))
+
+
+def cos(a: Expr) -> Expr:
+    v = a.constant_value()
+    if v is not None:
+        return const(math.cos(v))
+    if a.op == "~":
+        return cos(a.children[0])
+    return Expr("cos", (a,))
+
+
+def exp(a: Expr) -> Expr:
+    if a.is_zero:
+        return ONE
+    if a.op == "const":
+        return const(math.exp(a.value))
+    return Expr("exp", (a,))
+
+
+def ln(a: Expr) -> Expr:
+    if a.is_one:
+        return ZERO
+    if a.op == "const":
+        if a.value <= 0:
+            raise ValueError("ln of non-positive literal")
+        return const(math.log(a.value))
+    return Expr("ln", (a,))
+
+
+def sqrt(a: Expr) -> Expr:
+    if a.op == "const":
+        if a.value < 0:
+            raise ValueError("sqrt of negative literal")
+        return const(math.sqrt(a.value))
+    return Expr("sqrt", (a,))
+
+
+_FACTORIES: dict[str, Callable[..., Expr]] = {
+    "+": add,
+    "-": sub,
+    "~": neg,
+    "*": mul,
+    "/": div,
+    "pow": power,
+    "sin": sin,
+    "cos": cos,
+    "exp": exp,
+    "ln": ln,
+    "sqrt": sqrt,
+}
+
+
+def build(op: str, children: Iterable[Expr]) -> Expr:
+    """Rebuild a node through the smart constructors.
+
+    Used by passes (substitution, e-graph extraction) that reconstruct
+    trees bottom-up and want local folding applied uniformly.
+    """
+    children = tuple(children)
+    if op == "pi":
+        return PI
+    factory = _FACTORIES.get(op)
+    if factory is None:
+        raise ValueError(f"cannot build leaf operator {op!r} without payload")
+    return factory(*children)
+
+
+# ----------------------------------------------------------------------
+# Traversal and structural utilities
+# ----------------------------------------------------------------------
+
+def postorder(root: Expr) -> Iterator[Expr]:
+    """Yield each distinct subexpression once, children before parents."""
+    seen: set[int] = set()
+    stack: list[tuple[Expr, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in seen:
+            continue
+        if expanded:
+            seen.add(id(node))
+            yield node
+        else:
+            stack.append((node, True))
+            for child in node.children:
+                if id(child) not in seen:
+                    stack.append((child, False))
+
+
+def node_count(root: Expr) -> int:
+    """Number of distinct nodes in the expression DAG."""
+    return sum(1 for _ in postorder(root))
+
+
+def free_variables(root: Expr) -> tuple[str, ...]:
+    """Sorted tuple of free variable names appearing in the expression."""
+    names = {n.name for n in postorder(root) if n.op == "var"}
+    return tuple(sorted(names))
+
+
+def substitute(root: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace variables by expressions, rebuilding with local folding."""
+    memo: dict[int, Expr] = {}
+    for node in postorder(root):
+        if node.op == "var":
+            memo[id(node)] = mapping.get(node.name, node)
+        elif node.op in ("const", "pi"):
+            memo[id(node)] = node
+        else:
+            memo[id(node)] = build(
+                node.op, (memo[id(c)] for c in node.children)
+            )
+    return memo[id(root)]
+
+
+def rename_variables(root: Expr, mapping: Mapping[str, str]) -> Expr:
+    """Rename free variables according to ``mapping``."""
+    return substitute(
+        root, {old: var(new) for old, new in mapping.items()}
+    )
+
+
+def evaluate(root: Expr, env: Mapping[str, float]) -> float:
+    """Numerically evaluate the expression under a variable binding.
+
+    This is the slow reference evaluator; the JIT in :mod:`repro.jit`
+    produces much faster compiled closures.
+    """
+    memo: dict[int, float] = {}
+    for node in postorder(root):
+        op = node.op
+        if op == "const":
+            v = node.value
+        elif op == "pi":
+            v = math.pi
+        elif op == "var":
+            try:
+                v = float(env[node.name])
+            except KeyError:
+                raise KeyError(
+                    f"no binding for variable {node.name!r}"
+                ) from None
+        else:
+            args = [memo[id(c)] for c in node.children]
+            if op == "+":
+                v = args[0] + args[1]
+            elif op == "-":
+                v = args[0] - args[1]
+            elif op == "~":
+                v = -args[0]
+            elif op == "*":
+                v = args[0] * args[1]
+            elif op == "/":
+                v = args[0] / args[1]
+            elif op == "pow":
+                v = args[0] ** args[1]
+            elif op == "sin":
+                v = math.sin(args[0])
+            elif op == "cos":
+                v = math.cos(args[0])
+            elif op == "exp":
+                v = math.exp(args[0])
+            elif op == "ln":
+                v = math.log(args[0])
+            elif op == "sqrt":
+                v = math.sqrt(args[0])
+            else:  # pragma: no cover - guarded by _ARITY
+                raise AssertionError(op)
+        memo[id(node)] = v
+    return memo[id(root)]
+
+
+# ----------------------------------------------------------------------
+# S-expression round-tripping (shared syntax with the e-graph)
+# ----------------------------------------------------------------------
+
+def to_sexpr(root: Expr) -> str:
+    """Serialize to an s-expression, e.g. ``(* 2 (sin x))``."""
+    parts: dict[int, str] = {}
+    for node in postorder(root):
+        if node.op == "const":
+            v = node.value
+            parts[id(node)] = repr(int(v)) if v == int(v) else repr(v)
+        elif node.op == "var":
+            parts[id(node)] = node.name
+        elif node.op == "pi":
+            parts[id(node)] = "pi"
+        else:
+            inner = " ".join(parts[id(c)] for c in node.children)
+            parts[id(node)] = f"({node.op} {inner})"
+    return parts[id(root)]
+
+
+def from_sexpr(text: str) -> Expr:
+    """Parse an s-expression produced by :func:`to_sexpr`."""
+    tokens = text.replace("(", " ( ").replace(")", " ) ").split()
+    pos = 0
+
+    def parse() -> Expr:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise ValueError("unexpected end of s-expression")
+        tok = tokens[pos]
+        pos += 1
+        if tok == "(":
+            op = tokens[pos]
+            pos += 1
+            children = []
+            while tokens[pos] != ")":
+                children.append(parse())
+            pos += 1
+            return build(op, children)
+        if tok == ")":
+            raise ValueError("unexpected ')'")
+        if tok == "pi":
+            return PI
+        try:
+            return const(float(tok))
+        except ValueError:
+            return var(tok)
+
+    result = parse()
+    if pos != len(tokens):
+        raise ValueError("trailing tokens in s-expression")
+    return result
+
+
+_INFIX = {"+": "+", "-": "-", "*": "*", "/": "/"}
+
+
+def to_infix(root: Expr) -> str:
+    """Human-readable infix rendering (for repr and error messages)."""
+    parts: dict[int, str] = {}
+    for node in postorder(root):
+        if node.op == "const":
+            v = node.value
+            parts[id(node)] = repr(int(v)) if v == int(v) else repr(v)
+        elif node.op == "var":
+            parts[id(node)] = node.name
+        elif node.op == "pi":
+            parts[id(node)] = "pi"
+        elif node.op == "~":
+            parts[id(node)] = f"-({parts[id(node.children[0])]})"
+        elif node.op == "pow":
+            a, b = node.children
+            parts[id(node)] = f"({parts[id(a)]})^({parts[id(b)]})"
+        elif node.op in _INFIX:
+            a, b = node.children
+            sym = _INFIX[node.op]
+            parts[id(node)] = f"({parts[id(a)]} {sym} {parts[id(b)]})"
+        else:
+            inner = ", ".join(parts[id(c)] for c in node.children)
+            parts[id(node)] = f"{node.op}({inner})"
+    return parts[id(root)]

@@ -1,0 +1,33 @@
+"""AOT tensor-network compilation: lowering, pathfinding, bytecode."""
+
+from .bytecode import OPCODES, BufferSpec, Instruction, Program
+from .compiler import compile_network, plan_contraction
+from .network import ParamSlot, TensorNetwork, TNTensor
+from .path import (
+    OPTIMAL_CUTOFF,
+    find_contraction_path,
+    greedy_path,
+    optimal_path,
+    path_cost,
+)
+from .tree import ContractionTree, TreeNode, build_contraction_tree
+
+__all__ = [
+    "TensorNetwork",
+    "TNTensor",
+    "ParamSlot",
+    "compile_network",
+    "plan_contraction",
+    "Program",
+    "Instruction",
+    "BufferSpec",
+    "OPCODES",
+    "find_contraction_path",
+    "optimal_path",
+    "greedy_path",
+    "path_cost",
+    "OPTIMAL_CUTOFF",
+    "ContractionTree",
+    "TreeNode",
+    "build_contraction_tree",
+]

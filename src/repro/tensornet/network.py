@@ -1,0 +1,170 @@
+"""Tensor-network lowering of parameterized quantum circuits.
+
+Each gate becomes a tensor whose indices are the gate's output and input
+wires (a two-qubit gate is a rank-4 tensor); the wires connecting gates
+define the contracted indices, and the circuit's qudit boundary wires
+remain open (paper section IV-A).
+
+In a circuit-shaped network every index has at most two endpoints, so a
+pairwise contraction always sums exactly the indices shared by the two
+operands — this invariant is exploited by the path solvers and the
+contraction tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..symbolic.matrix import ExpressionMatrix
+
+__all__ = ["ParamSlot", "TNTensor", "TensorNetwork"]
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """Binding of one gate-parameter slot.
+
+    ``kind`` is ``"param"`` (references circuit parameter ``index``) or
+    ``"const"`` (fixed numeric ``value``).
+    """
+
+    kind: str
+    index: int = -1
+    value: float = 0.0
+
+    @staticmethod
+    def param(index: int) -> "ParamSlot":
+        return ParamSlot("param", index=index)
+
+    @staticmethod
+    def const(value: float) -> "ParamSlot":
+        return ParamSlot("const", value=float(value))
+
+
+@dataclass
+class TNTensor:
+    """A gate tensor in the network.
+
+    ``indices`` lists index ids in (outputs..., inputs...) order,
+    matching the row-major reshape of the gate's unitary matrix.
+    """
+
+    tensor_id: int
+    expression: ExpressionMatrix
+    slots: tuple[ParamSlot, ...]
+    indices: tuple[int, ...]
+    location: tuple[int, ...]
+
+    @property
+    def param_indices(self) -> tuple[int, ...]:
+        """Sorted unique circuit-parameter indices this tensor uses."""
+        return tuple(
+            sorted({s.index for s in self.slots if s.kind == "param"})
+        )
+
+
+@dataclass
+class TensorNetwork:
+    """A circuit lowered to tensors, indices, and open legs."""
+
+    tensors: list[TNTensor] = field(default_factory=list)
+    index_dims: dict[int, int] = field(default_factory=dict)
+    #: open indices in (final outputs..., initial inputs...) order
+    open_out: tuple[int, ...] = ()
+    open_in: tuple[int, ...] = ()
+    num_params: int = 0
+    radices: tuple[int, ...] = ()
+
+    @property
+    def open_indices(self) -> tuple[int, ...]:
+        return self.open_out + self.open_in
+
+    @property
+    def dim(self) -> int:
+        d = 1
+        for r in self.radices:
+            d *= r
+        return d
+
+    def index_endpoints(self) -> dict[int, list[int]]:
+        """Map index id -> tensor ids touching it (<= 2 in circuits)."""
+        endpoints: dict[int, list[int]] = {i: [] for i in self.index_dims}
+        for t in self.tensors:
+            for idx in t.indices:
+                endpoints[idx].append(t.tensor_id)
+        return endpoints
+
+    @staticmethod
+    def from_operations(
+        radices: Sequence[int],
+        operations: Sequence[
+            tuple[ExpressionMatrix, Sequence[int], Sequence[ParamSlot]]
+        ],
+        num_params: int,
+    ) -> "TensorNetwork":
+        """Lower a gate sequence to a network.
+
+        ``operations`` are (expression, qudit location, parameter slots)
+        in time order.  A fresh index id is minted for each gate output;
+        a wire's current frontier index feeds the next gate acting on it.
+        """
+        radices = tuple(int(r) for r in radices)
+        net = TensorNetwork(num_params=num_params, radices=radices)
+        next_index = 0
+
+        def mint(dim: int) -> int:
+            nonlocal next_index
+            idx = next_index
+            next_index += 1
+            net.index_dims[idx] = dim
+            return idx
+
+        frontier = [mint(r) for r in radices]
+        initial = tuple(frontier)
+
+        for expression, location, slots in operations:
+            location = tuple(int(q) for q in location)
+            if len(set(location)) != len(location):
+                raise ValueError(f"repeated qudit in location {location}")
+            for q, r in zip(location, expression.radices):
+                if radices[q] != r:
+                    raise ValueError(
+                        f"gate radix {r} does not match wire {q} "
+                        f"radix {radices[q]}"
+                    )
+            ins = tuple(frontier[q] for q in location)
+            outs = tuple(mint(radices[q]) for q in location)
+            for q, idx in zip(location, outs):
+                frontier[q] = idx
+            net.tensors.append(
+                TNTensor(
+                    tensor_id=len(net.tensors),
+                    expression=expression,
+                    slots=tuple(slots),
+                    indices=outs + ins,
+                    location=location,
+                )
+            )
+        # Wires never touched by a gate would make an input leg and an
+        # output leg share one index id; stitch them with an explicit
+        # identity tensor so every open leg is distinct.
+        for q, r in enumerate(radices):
+            if frontier[q] != initial[q]:
+                continue
+            out_idx = mint(r)
+            net.tensors.append(
+                TNTensor(
+                    tensor_id=len(net.tensors),
+                    expression=ExpressionMatrix.identity(
+                        r, radices=(r,)
+                    ),
+                    slots=(),
+                    indices=(out_idx, frontier[q]),
+                    location=(q,),
+                )
+            )
+            frontier[q] = out_idx
+        net.open_out = tuple(frontier)
+        net.open_in = initial
+        return net

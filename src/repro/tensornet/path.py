@@ -1,0 +1,300 @@
+"""Contraction-path solvers (paper section IV-A hybrid strategy).
+
+Finding the optimal contraction order is NP-hard; OpenQudit uses an
+optimal solver for small networks (here an exhaustive dynamic program in
+the style of Pfeifer-Haegeman-Verstraete) and a fast greedy heuristic in
+the style of Gray & Kourtis's hyper-greedy baseline above the
+``OPTIMAL_CUTOFF`` of 7 tensors.
+
+A *path* is a list of pairs in the opt_einsum convention: each pair
+names positions into the current list of intermediate tensors; the
+contraction result is appended at the end of the list.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Sequence
+
+__all__ = [
+    "OPTIMAL_CUTOFF",
+    "find_contraction_path",
+    "optimal_path",
+    "greedy_path",
+    "path_cost",
+]
+
+OPTIMAL_CUTOFF = 7
+
+
+def find_contraction_path(
+    tensor_indices: Sequence[frozenset[int] | set[int]],
+    index_dims: dict[int, int],
+    open_indices: set[int] | frozenset[int],
+    strategy: str = "auto",
+) -> list[tuple[int, int]]:
+    """Return a pairwise contraction path.
+
+    ``strategy`` selects the solver: ``"auto"`` (the paper's hybrid —
+    optimal below the cutoff, greedy above), ``"optimal"``, ``"greedy"``,
+    or ``"sequential"`` (contract in gate order; the no-pathfinding
+    ablation baseline).
+    """
+    tensor_indices = [frozenset(t) for t in tensor_indices]
+    open_indices = frozenset(open_indices)
+    if len(tensor_indices) <= 1:
+        return []
+    if strategy == "sequential":
+        return _sequential_path(len(tensor_indices))
+    if strategy == "optimal" or (
+        strategy == "auto" and len(tensor_indices) <= OPTIMAL_CUTOFF
+    ):
+        return optimal_path(tensor_indices, index_dims, open_indices)
+    if strategy in ("auto", "greedy"):
+        return greedy_path(tensor_indices, index_dims, open_indices)
+    raise ValueError(
+        f"unknown path strategy {strategy!r}; choose auto, optimal, "
+        "greedy, or sequential"
+    )
+
+
+def _sequential_path(n: int) -> list[tuple[int, int]]:
+    """Left-fold path: ((T0 T1) T2) T3 ... — the naive gate-order
+    accumulation a dense evaluator performs.
+
+    Pair positions follow the opt_einsum convention (results append at
+    the end of the working list), so folding T_k into the running
+    product pairs position 0 (the next gate) with the last position.
+    """
+    if n < 2:
+        return []
+    path = [(0, 1)]
+    for k in range(2, n):
+        path.append((0, n - k))
+    return path
+
+
+def _contract_sets(
+    a: frozenset[int],
+    b: frozenset[int],
+    open_indices: frozenset[int],
+) -> frozenset[int]:
+    """Result indices of a pairwise contraction.
+
+    In a circuit network every index has at most two endpoints, so the
+    shared non-open indices are exactly the summed ones.
+    """
+    shared = a & b
+    keep = (a | b) - (shared - open_indices)
+    return keep
+
+
+def _pair_cost(
+    a: frozenset[int], b: frozenset[int], index_dims: dict[int, int]
+) -> float:
+    """FLOP proxy: product of all dimensions involved in the pairing."""
+    cost = 1.0
+    for idx in a | b:
+        cost *= index_dims[idx]
+    return cost
+
+
+def _size(indices: frozenset[int], index_dims: dict[int, int]) -> float:
+    size = 1.0
+    for idx in indices:
+        size *= index_dims[idx]
+    return size
+
+
+def optimal_path(
+    tensor_indices: list[frozenset[int]],
+    index_dims: dict[int, int],
+    open_indices: frozenset[int],
+) -> list[tuple[int, int]]:
+    """Exhaustive subset dynamic program (optimal total FLOP cost).
+
+    ``best[S]`` is the minimal cost of fully contracting the tensor
+    subset ``S`` into one intermediate; it is reached by splitting ``S``
+    into two nonempty halves.  Exponential in the tensor count, hence
+    the cutoff.
+    """
+    n = len(tensor_indices)
+    if n > 16:
+        # 3^n submask enumeration: refuse sizes that would hang.
+        raise ValueError(
+            f"optimal path solver is exponential; {n} tensors exceeds "
+            "the supported limit (16) — use the greedy solver"
+        )
+    full = (1 << n) - 1
+
+    result_idx: dict[int, frozenset[int]] = {}
+    for i, t in enumerate(tensor_indices):
+        result_idx[1 << i] = t
+
+    def indices_of(mask: int) -> frozenset[int]:
+        cached = result_idx.get(mask)
+        if cached is not None:
+            return cached
+        # Indices that survive contraction of the subset: open indices
+        # or indices with an endpoint outside the subset.
+        counts: dict[int, int] = {}
+        for i in range(n):
+            if mask & (1 << i):
+                for idx in tensor_indices[i]:
+                    counts[idx] = counts.get(idx, 0) + 1
+        outside: set[int] = set()
+        for i in range(n):
+            if not mask & (1 << i):
+                outside.update(tensor_indices[i])
+        keep = frozenset(
+            idx
+            for idx in counts
+            if idx in open_indices or idx in outside
+        )
+        result_idx[mask] = keep
+        return keep
+
+    best_cost: dict[int, float] = {1 << i: 0.0 for i in range(n)}
+    best_split: dict[int, tuple[int, int]] = {}
+
+    # Iterate subsets by population count.
+    masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[mask.bit_count()].append(mask)
+
+    for size in range(2, n + 1):
+        for mask in masks_by_size[size]:
+            best = math.inf
+            split = None
+            # Enumerate proper submasks; canonicalize by requiring the
+            # lowest set bit to stay in the left half.
+            low = mask & (-mask)
+            sub = (mask - 1) & mask
+            while sub:
+                if sub & low:
+                    other = mask ^ sub
+                    ca = best_cost.get(sub, math.inf)
+                    cb = best_cost.get(other, math.inf)
+                    if ca + cb < best:
+                        ia, ib = indices_of(sub), indices_of(other)
+                        cost = ca + cb + _pair_cost(ia, ib, index_dims)
+                        if cost < best:
+                            best = cost
+                            split = (sub, other)
+                sub = (sub - 1) & mask
+            best_cost[mask] = best
+            best_split[mask] = split
+
+    # Materialize the split tree as an opt_einsum-style pair list.
+    pairs: list[tuple[int, int]] = []
+    # position bookkeeping: list of masks in "current tensor list" order
+    positions: list[int] = [1 << i for i in range(n)]
+
+    def emit(mask: int) -> None:
+        if mask.bit_count() == 1:
+            return
+        left, right = best_split[mask]
+        emit(left)
+        emit(right)
+        i = positions.index(left)
+        j = positions.index(right)
+        a, b = min(i, j), max(i, j)
+        pairs.append((a, b))
+        del positions[b]
+        del positions[a]
+        positions.append(mask)
+
+    emit(full)
+    return pairs
+
+
+def greedy_path(
+    tensor_indices: list[frozenset[int]],
+    index_dims: dict[int, int],
+    open_indices: frozenset[int],
+) -> list[tuple[int, int]]:
+    """Greedy heuristic: repeatedly contract the connected pair that
+    minimizes the size of the resulting intermediate (ties by FLOP
+    cost), falling back to outer products only when the network is
+    disconnected."""
+    alive: dict[int, frozenset[int]] = dict(enumerate(tensor_indices))
+    pairs: list[tuple[int, int]] = []
+    # Map original position labels to current list positions lazily.
+    order: list[int] = list(alive)
+    next_label = len(tensor_indices)
+
+    heap: list[tuple[float, float, int, int]] = []
+
+    def push_pair(u: int, v: int) -> None:
+        iu, iv = alive[u], alive[v]
+        if not iu & iv:
+            return
+        keep = _contract_sets(iu, iv, open_indices)
+        heapq.heappush(
+            heap,
+            (
+                _size(keep, index_dims),
+                _pair_cost(iu, iv, index_dims),
+                min(u, v),
+                max(u, v),
+            ),
+        )
+
+    labels = list(alive)
+    for u, v in itertools.combinations(labels, 2):
+        push_pair(u, v)
+
+    def emit(u: int, v: int) -> int:
+        nonlocal next_label
+        i = order.index(u)
+        j = order.index(v)
+        a, b = min(i, j), max(i, j)
+        pairs.append((a, b))
+        del order[b]
+        del order[a]
+        label = next_label
+        next_label += 1
+        order.append(label)
+        alive[label] = _contract_sets(alive.pop(u), alive.pop(v), open_indices)
+        return label
+
+    while len(alive) > 1:
+        chosen: tuple[int, int] | None = None
+        while heap:
+            _, _, u, v = heapq.heappop(heap)
+            if u in alive and v in alive:
+                chosen = (u, v)
+                break
+        if chosen is None:
+            # Disconnected components: outer-product the two smallest.
+            by_size = sorted(
+                alive, key=lambda t: _size(alive[t], index_dims)
+            )
+            chosen = (by_size[0], by_size[1])
+        new_label = emit(*chosen)
+        for other in alive:
+            if other != new_label:
+                push_pair(new_label, other)
+    return pairs
+
+
+def path_cost(
+    tensor_indices: Sequence[frozenset[int] | set[int]],
+    index_dims: dict[int, int],
+    open_indices: set[int] | frozenset[int],
+    path: list[tuple[int, int]],
+) -> float:
+    """Total FLOP-proxy cost of a path (for tests and diagnostics)."""
+    open_indices = frozenset(open_indices)
+    current = [frozenset(t) for t in tensor_indices]
+    total = 0.0
+    for i, j in path:
+        a, b = current[i], current[j]
+        total += _pair_cost(a, b, index_dims)
+        keep = _contract_sets(a, b, open_indices)
+        for k in sorted((i, j), reverse=True):
+            del current[k]
+        current.append(keep)
+    return total

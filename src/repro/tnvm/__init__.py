@@ -1,0 +1,6 @@
+"""The Tensor Network Virtual Machine runtime."""
+
+from .buffers import MemoryPlan
+from .vm import TNVM, Differentiation
+
+__all__ = ["TNVM", "Differentiation", "MemoryPlan"]

@@ -1,0 +1,76 @@
+"""Memory planning for the TNVM.
+
+The TNVM allocates a single contiguous complex arena for all tensor
+values and a second arena for all forward-mode gradient stacks (paper
+section IV-B: "a single, contiguous memory region to house all
+intermediate tensors, eliminating dynamic allocation overhead during
+execution").  Each abstract buffer from the bytecode maps to an offset
+slice; views are materialized once at initialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensornet.bytecode import Program
+
+__all__ = ["MemoryPlan"]
+
+
+class MemoryPlan:
+    """Arena layout and per-buffer views for one TNVM instance."""
+
+    def __init__(self, program: Program, dtype: np.dtype, grad: bool):
+        self.dtype = np.dtype(dtype)
+        value_sizes = [spec.size for spec in program.buffers]
+        value_offsets = np.concatenate(([0], np.cumsum(value_sizes)))
+        self.value_arena = np.zeros(int(value_offsets[-1]), dtype=self.dtype)
+        #: flat 1-D value view per buffer id
+        self.values: list[np.ndarray] = [
+            self.value_arena[value_offsets[i]: value_offsets[i + 1]]
+            for i in range(len(value_sizes))
+        ]
+
+        #: flat 2-D (n_params, size) gradient stack per buffer id, or
+        #: None for constant/no-gradient buffers
+        self.grads: list[np.ndarray | None] = [None] * len(value_sizes)
+        grad_bytes = 0
+        if grad:
+            grad_sizes = [
+                len(spec.params) * spec.size if spec.params else 0
+                for spec in program.buffers
+            ]
+            grad_offsets = np.concatenate(([0], np.cumsum(grad_sizes)))
+            self.grad_arena = np.zeros(
+                int(grad_offsets[-1]), dtype=self.dtype
+            )
+            for i, spec in enumerate(program.buffers):
+                if spec.params:
+                    flat = self.grad_arena[
+                        grad_offsets[i]: grad_offsets[i + 1]
+                    ]
+                    self.grads[i] = flat.reshape(
+                        len(spec.params), spec.size
+                    )
+            grad_bytes = self.grad_arena.nbytes
+        else:
+            self.grad_arena = np.zeros(0, dtype=self.dtype)
+
+        self.memory_bytes = self.value_arena.nbytes + grad_bytes
+
+    def value_view(self, buffer_id: int, shape: tuple[int, ...]) -> np.ndarray:
+        """A reshaped view of a buffer's value storage."""
+        return self.values[buffer_id].reshape(shape)
+
+    def grad_view(
+        self, buffer_id: int, shape: tuple[int, ...]
+    ) -> np.ndarray | None:
+        """A reshaped view of a buffer's gradient stack.
+
+        The leading axis runs over the buffer's parameter set (sorted
+        circuit-parameter order from the bytecode annotation).
+        """
+        g = self.grads[buffer_id]
+        if g is None:
+            return None
+        return g.reshape((g.shape[0],) + tuple(shape))

@@ -1,0 +1,190 @@
+"""The Tensor Network Virtual Machine (paper section IV-B).
+
+A TNVM executes the two-section bytecode produced by the AOT compiler.
+Instantiation performs the one-time preparatory steps:
+
+1. allocate one contiguous memory region for all intermediate tensors;
+2. eagerly JIT-compile every unique QGL expression referenced by the
+   ``WRITE`` instructions (through the shared ``ExpressionCache``);
+3. specialize every instruction for the requested precision and
+   differentiation level, and execute the constant section once.
+
+After that, :meth:`TNVM.evaluate` / :meth:`TNVM.evaluate_with_grad` are
+straight sweeps over a list of pre-bound closures — no allocation, no
+dispatch, no compilation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from ..jit.cache import ExpressionCache, global_cache
+from ..tensornet.bytecode import Program
+from .ad import build_closure
+from .buffers import MemoryPlan
+
+__all__ = ["Differentiation", "TNVM"]
+
+
+class Differentiation(enum.Enum):
+    """Requested differentiation level (paper: none/gradient/Hessian)."""
+
+    NONE = 0
+    GRADIENT = 1
+    HESSIAN = 2  # reserved; see DESIGN.md non-goals
+
+
+_DTYPES = {
+    "f32": np.complex64,
+    "f64": np.complex128,
+    np.complex64: np.complex64,
+    np.complex128: np.complex128,
+}
+
+
+class TNVM:
+    """A virtual machine bound to one bytecode program.
+
+    Parameters
+    ----------
+    program:
+        Output of :func:`repro.tensornet.compile_network`.
+    precision:
+        ``"f32"`` or ``"f64"`` (the generic precision parameter the
+        paper highlights in section VI-C).
+    diff:
+        ``Differentiation.NONE`` or ``Differentiation.GRADIENT``.
+    cache:
+        Expression cache to pull JIT'd expressions from; defaults to
+        the process-wide shared cache.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        precision: str = "f64",
+        diff: Differentiation = Differentiation.GRADIENT,
+        cache: ExpressionCache | None = None,
+    ):
+        if diff is Differentiation.HESSIAN:
+            raise NotImplementedError(
+                "Hessian-level differentiation is reserved future work"
+            )
+        try:
+            dtype = _DTYPES[precision]
+        except KeyError:
+            raise ValueError(
+                f"precision must be 'f32' or 'f64', got {precision!r}"
+            ) from None
+        self.program = program
+        self.precision = "f32" if dtype == np.complex64 else "f64"
+        self.diff = diff
+        self.num_params = program.num_params
+        want_grad = diff is Differentiation.GRADIENT
+
+        # Step 1: one contiguous memory region.
+        self.plan = MemoryPlan(program, dtype, want_grad)
+
+        # Step 2: eager JIT of all unique expressions via the cache.
+        # (`is None`, not truthiness: an empty cache is falsy via its
+        # __len__ but must still be used.)
+        if cache is None:
+            cache = global_cache()
+        self.compiled = [
+            cache.get(expr, grad=want_grad and expr.num_params > 0)
+            for expr in program.expressions
+        ]
+
+        # Step 3: specialize instructions; run the constant section once.
+        for instr in program.const_section:
+            closure = build_closure(
+                instr, program, self.plan, self.compiled, grad=False
+            )
+            closure(())
+        self._dynamic = [
+            build_closure(
+                instr, program, self.plan, self.compiled, grad=want_grad
+            )
+            for instr in program.dynamic_section
+        ]
+
+        dim = program.output_shape[0]
+        self._out_view = self.plan.value_view(
+            program.output_buffer, (dim, dim)
+        )
+        out_spec = program.buffers[program.output_buffer]
+        self._out_param_rows = out_spec.params
+        self._out_grad_view = (
+            self.plan.grad_view(program.output_buffer, (dim, dim))
+            if want_grad and out_spec.params
+            else None
+        )
+        self._full_grad = (
+            np.zeros((self.num_params, dim, dim), dtype=dtype)
+            if want_grad
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def evaluate(self, params: Sequence[float] = ()) -> np.ndarray:
+        """Compute the circuit unitary.
+
+        Returns a *view* into the VM's arena: valid until the next
+        ``evaluate`` call; copy it if you need to retain it.
+        """
+        self._check(params)
+        for run in self._dynamic:
+            run(params)
+        return self._out_view
+
+    def evaluate_with_grad(
+        self, params: Sequence[float] = ()
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute the unitary and its gradient.
+
+        The gradient has shape ``(num_params, dim, dim)`` with zero
+        slices for parameters the output does not depend on.  Both
+        returned arrays are views/buffers reused across calls.
+        """
+        if self.diff is not Differentiation.GRADIENT:
+            raise RuntimeError(
+                "TNVM was instantiated with Differentiation.NONE"
+            )
+        self._check(params)
+        for run in self._dynamic:
+            run(params)
+        if self._out_grad_view is not None:
+            for row, p in enumerate(self._out_param_rows):
+                self._full_grad[p] = self._out_grad_view[row]
+        return self._out_view, self._full_grad
+
+    def _check(self, params: Sequence[float]) -> None:
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"program expects {self.num_params} parameters, "
+                f"got {len(params)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Size of the preallocated arenas (the paper's 211KB metric)."""
+        return self.plan.memory_bytes
+
+    @property
+    def dim(self) -> int:
+        return self.program.output_shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"<TNVM {self.precision} diff={self.diff.name} "
+            f"params={self.num_params} dim={self.dim} "
+            f"mem={self.memory_bytes}B>"
+        )

@@ -1,0 +1,19 @@
+"""Shared utilities: unitary helpers and a small state-vector simulator."""
+
+from .statevector import Statevector
+from .unitary import (
+    closest_phase,
+    global_phase_distance,
+    hilbert_schmidt_infidelity,
+    is_unitary,
+    random_unitary,
+)
+
+__all__ = [
+    "random_unitary",
+    "hilbert_schmidt_infidelity",
+    "global_phase_distance",
+    "closest_phase",
+    "is_unitary",
+    "Statevector",
+]

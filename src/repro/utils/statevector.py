@@ -1,0 +1,68 @@
+"""A small state-vector simulator used by the examples.
+
+Applies circuit unitaries (or individual gates) to qudit states.  This
+is intentionally simple — OpenQudit targets unitary evaluation, not
+large-scale simulation (paper section VII-D) — but it lets the examples
+show end-to-end behaviour of synthesized circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Statevector"]
+
+
+class Statevector:
+    """A pure state over qudits of the given radices."""
+
+    def __init__(self, radices: Sequence[int]):
+        self.radices = tuple(int(r) for r in radices)
+        self.dim = math.prod(self.radices)
+        self.amplitudes = np.zeros(self.dim, dtype=np.complex128)
+        self.amplitudes[0] = 1.0
+
+    @staticmethod
+    def from_amplitudes(
+        amplitudes: np.ndarray, radices: Sequence[int]
+    ) -> "Statevector":
+        state = Statevector(radices)
+        amplitudes = np.asarray(amplitudes, dtype=np.complex128)
+        if amplitudes.shape != (state.dim,):
+            raise ValueError("amplitude vector has the wrong dimension")
+        norm = np.linalg.norm(amplitudes)
+        if not math.isclose(norm, 1.0, abs_tol=1e-9):
+            raise ValueError("state is not normalized")
+        state.amplitudes = amplitudes.copy()
+        return state
+
+    def apply_unitary(self, unitary: np.ndarray) -> "Statevector":
+        """Apply a full-dimension unitary."""
+        out = Statevector(self.radices)
+        out.amplitudes = unitary @ self.amplitudes
+        return out
+
+    def apply_gate(
+        self, matrix: np.ndarray, location: Sequence[int]
+    ) -> "Statevector":
+        """Apply a gate matrix to specific qudits."""
+        from ..baseline.evaluator import embed
+
+        full = embed(
+            np.asarray(matrix, dtype=np.complex128),
+            tuple(location),
+            self.radices,
+        )
+        return self.apply_unitary(full)
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.amplitudes) ** 2
+
+    def fidelity(self, other: "Statevector") -> float:
+        return float(abs(np.vdot(self.amplitudes, other.amplitudes)) ** 2)
+
+    def __repr__(self) -> str:
+        return f"<Statevector dim={self.dim}>"

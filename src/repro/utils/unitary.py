@@ -1,0 +1,63 @@
+"""Unitary-matrix utilities: random targets, distances, checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "random_unitary",
+    "hilbert_schmidt_infidelity",
+    "global_phase_distance",
+    "is_unitary",
+    "closest_phase",
+]
+
+
+def random_unitary(
+    dim: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """A Haar-random unitary via QR of a complex Ginibre matrix."""
+    rng = np.random.default_rng(rng)
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    # Fix the phase ambiguity so the distribution is Haar.
+    d = np.diagonal(r)
+    return q * (d / np.abs(d))
+
+
+def hilbert_schmidt_infidelity(
+    target: np.ndarray, actual: np.ndarray
+) -> float:
+    """The paper's Eq. (1): ``1 - |Tr(U_target^dag U)| / D``.
+
+    Global-phase invariant; zero iff the unitaries match up to phase.
+    """
+    dim = target.shape[0]
+    trace = np.trace(target.conj().T @ actual)
+    return float(1.0 - abs(trace) / dim)
+
+
+def closest_phase(target: np.ndarray, actual: np.ndarray) -> complex:
+    """The global phase aligning ``target`` to ``actual``."""
+    trace = np.trace(target.conj().T @ actual)
+    mag = abs(trace)
+    if mag < 1e-300:
+        return 1.0 + 0j
+    return trace / mag
+
+
+def global_phase_distance(
+    target: np.ndarray, actual: np.ndarray
+) -> float:
+    """Frobenius distance after optimal global-phase alignment."""
+    phase = closest_phase(target, actual)
+    return float(np.linalg.norm(actual - phase * target))
+
+
+def is_unitary(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    dim = matrix.shape[0]
+    return bool(
+        np.allclose(
+            matrix @ matrix.conj().T, np.eye(dim), atol=tol
+        )
+    )

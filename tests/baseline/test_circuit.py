@@ -1,0 +1,79 @@
+"""Baseline circuit: eager per-append validation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import gates as bg
+from repro.baseline.circuit import BaselineCircuit
+
+
+class TestAppendChecks:
+    def test_location_arity(self):
+        circ = BaselineCircuit([2, 2])
+        with pytest.raises(ValueError):
+            circ.append_gate(bg.CXGate(), (0,), ())
+
+    def test_repeated_qudit(self):
+        circ = BaselineCircuit([2, 2])
+        with pytest.raises(ValueError):
+            circ.append_gate(bg.CXGate(), (0, 0), ())
+
+    def test_radix_compat(self):
+        circ = BaselineCircuit([2, 3])
+        with pytest.raises(ValueError):
+            circ.append_gate(bg.CXGate(), (0, 1), ())
+
+    def test_out_of_range(self):
+        circ = BaselineCircuit([2])
+        with pytest.raises(ValueError):
+            circ.append_gate(bg.XGate(), 5, ())
+
+    def test_param_arity(self):
+        circ = BaselineCircuit([2])
+        with pytest.raises(ValueError):
+            circ.append_gate(bg.RXGate(), 0, (0.1, 0.2))
+
+    def test_non_unitary_rejected(self):
+        class Broken(bg.RXGate):
+            def get_unitary(self, params=()):
+                return np.array([[1, 0], [0, 2]], dtype=complex)
+
+        circ = BaselineCircuit([2])
+        with pytest.raises(ValueError, match="not unitary"):
+            circ.append_gate(Broken(), 0, (0.1,))
+
+
+class TestGateSetRegistry:
+    def test_equality_scan_dedups(self):
+        circ = BaselineCircuit([2])
+        for _ in range(5):
+            circ.append_gate(bg.RXGate(), 0, (0.5,))
+        assert len(circ.gate_set) == 1
+
+    def test_distinct_params_distinct_entries(self):
+        circ = BaselineCircuit([2])
+        circ.append_gate(bg.RXGate(), 0, (0.5,))
+        circ.append_gate(bg.RXGate(), 0, (0.6,))
+        assert len(circ.gate_set) == 2
+
+
+class TestParameters:
+    def test_parameterized_allocation(self):
+        circ = BaselineCircuit([2])
+        circ.append_gate(bg.U3Gate(), 0, parameterized=True)
+        circ.append_gate(bg.U3Gate(), 0, parameterized=True)
+        assert circ.num_params == 6
+        assert circ.operations[1].param_indices == (3, 4, 5)
+
+    def test_constant_allocation(self):
+        circ = BaselineCircuit([2])
+        circ.append_gate(bg.RXGate(), 0, (0.5,))
+        assert circ.num_params == 0
+        assert not circ.operations[0].is_parameterized
+
+    def test_depth(self):
+        circ = BaselineCircuit([2, 2])
+        circ.append_gate(bg.HGate(), 0, ())
+        circ.append_gate(bg.HGate(), 1, ())
+        circ.append_gate(bg.CXGate(), (0, 1), ())
+        assert circ.depth() == 2

@@ -1,0 +1,84 @@
+"""Dense evaluator tests: embedding and chain-rule gradients."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import gates as bg
+from repro.baseline.circuit import BaselineCircuit
+from repro.baseline.evaluator import DenseEvaluator, embed
+
+
+class TestEmbed:
+    def test_identity_on_rest(self):
+        x = bg.XGate().get_unitary(())
+        full = embed(x, (0,), (2, 2))
+        assert np.allclose(full, np.kron(x, np.eye(2)))
+
+    def test_second_wire(self):
+        x = bg.XGate().get_unitary(())
+        full = embed(x, (1,), (2, 2))
+        assert np.allclose(full, np.kron(np.eye(2), x))
+
+    def test_reversed_two_qubit(self):
+        cx = bg.CXGate().get_unitary(())
+        full = embed(cx, (1, 0), (2, 2))
+        expected = np.eye(4)[[0, 3, 2, 1]]  # CNOT ctrl=1 tgt=0
+        assert np.allclose(full, expected)
+
+    def test_qutrit_embedding(self):
+        p3 = bg.QutritPhaseGate().get_unitary((0.4, 0.9))
+        full = embed(p3, (1,), (2, 3))
+        assert np.allclose(full, np.kron(np.eye(2), p3))
+
+    def test_nonadjacent(self):
+        cx = bg.CXGate().get_unitary(())
+        full = embed(cx, (0, 2), (2, 2, 2))
+        # |1 q1 0> -> |1 q1 1>
+        src = np.zeros(8)
+        src[0b100] = 1
+        assert np.allclose(full @ src, np.eye(8)[:, 0b101])
+
+    def test_full_coverage_is_identity_embed(self):
+        u = bg.CXGate().get_unitary(())
+        assert np.allclose(embed(u, (0, 1), (2, 2)), u)
+
+
+class TestEvaluator:
+    def test_unitary_sequence_order(self):
+        # X then H on one qubit: U = H @ X.
+        circ = BaselineCircuit([2])
+        circ.append_gate(bg.XGate(), 0, ())
+        circ.append_gate(bg.HGate(), 0, ())
+        u = DenseEvaluator(circ).get_unitary(())
+        h = bg.HGate().get_unitary(())
+        x = bg.XGate().get_unitary(())
+        assert np.allclose(u, h @ x)
+
+    def test_gradient_chain_rule(self):
+        circ = BaselineCircuit([2, 2])
+        circ.append_gate(bg.U3Gate(), 0, parameterized=True)
+        circ.append_gate(bg.CXGate(), (0, 1), ())
+        circ.append_gate(bg.RZZGate(), (0, 1), parameterized=True)
+        ev = DenseEvaluator(circ)
+        params = np.random.default_rng(0).uniform(-np.pi, np.pi, 4)
+        u, grad = ev.get_unitary_and_grad(params)
+        assert np.allclose(u, ev.get_unitary(params))
+        eps = 1e-7
+        for k in range(4):
+            bumped = params.copy()
+            bumped[k] += eps
+            fd = (ev.get_unitary(bumped) - u) / eps
+            assert np.allclose(grad[k], fd, atol=1e-5)
+
+    def test_constant_ops_no_gradient_rows(self):
+        circ = BaselineCircuit([2])
+        circ.append_gate(bg.RXGate(), 0, (0.3,))
+        u, grad = DenseEvaluator(circ).get_unitary_and_grad(())
+        assert grad.shape == (0, 2, 2)
+        assert np.allclose(u, bg.RXGate().get_unitary((0.3,)))
+
+    def test_empty_circuit_identity(self):
+        circ = BaselineCircuit([2, 2])
+        assert np.allclose(
+            DenseEvaluator(circ).get_unitary(()), np.eye(4)
+        )

@@ -1,0 +1,94 @@
+"""Baseline gate tests: hand-derived gradients versus finite
+differences, and agreement with the QGL-defined library."""
+
+import numpy as np
+import pytest
+
+from repro.baseline import gates as bg
+from repro.circuit import gates as qg
+
+PARAMETERIZED = [
+    bg.U1Gate(), bg.U2Gate(), bg.U3Gate(), bg.RXGate(), bg.RYGate(),
+    bg.RZGate(), bg.RZZGate(), bg.CPGate(), bg.QutritPhaseGate(),
+]
+CONSTANT = [
+    bg.HGate(), bg.XGate(), bg.YGate(), bg.ZGate(), bg.SGate(),
+    bg.TGate(), bg.CXGate(), bg.CZGate(), bg.SwapGate(), bg.CSUMGate(),
+]
+
+
+@pytest.mark.parametrize(
+    "gate", PARAMETERIZED, ids=[g.name for g in PARAMETERIZED]
+)
+def test_hand_gradient_matches_finite_difference(gate):
+    params = np.random.default_rng(1).uniform(
+        -np.pi, np.pi, gate.num_params
+    )
+    u = gate.get_unitary(params)
+    grad = gate.get_grad(params)
+    assert grad.shape == (gate.num_params, gate.dim, gate.dim)
+    eps = 1e-7
+    for k in range(gate.num_params):
+        bumped = params.copy()
+        bumped[k] += eps
+        fd = (gate.get_unitary(bumped) - u) / eps
+        assert np.allclose(grad[k], fd, atol=1e-5), f"param {k}"
+
+
+@pytest.mark.parametrize(
+    "gate", PARAMETERIZED + CONSTANT,
+    ids=[g.name for g in PARAMETERIZED + CONSTANT],
+)
+def test_baseline_gates_unitary(gate):
+    params = np.random.default_rng(2).uniform(
+        -np.pi, np.pi, gate.num_params
+    )
+    u = gate.get_unitary(params)
+    assert np.allclose(
+        u @ u.conj().T, np.eye(gate.dim), atol=1e-10
+    )
+
+
+CROSS = [
+    (bg.U3Gate(), qg.u3),
+    (bg.U2Gate(), qg.u2),
+    (bg.U1Gate(), qg.u1),
+    (bg.RXGate(), qg.rx),
+    (bg.RYGate(), qg.ry),
+    (bg.RZGate(), qg.rz),
+    (bg.RZZGate(), qg.rzz),
+    (bg.CPGate(), qg.cp),
+    (bg.HGate(), qg.h),
+    (bg.CXGate(), qg.cx),
+    (bg.SwapGate(), qg.swap),
+    (bg.QutritPhaseGate(), qg.qutrit_phase),
+    (bg.CSUMGate(), lambda: qg.csum(3)),
+]
+
+
+@pytest.mark.parametrize(
+    "pair", CROSS, ids=[b.name for b, _ in CROSS]
+)
+def test_baseline_agrees_with_qgl_library(pair):
+    bgate, factory = pair
+    expr = factory()
+    params = np.random.default_rng(3).uniform(
+        -np.pi, np.pi, bgate.num_params
+    )
+    assert np.allclose(
+        bgate.get_unitary(params), expr.unitary(params), atol=1e-12
+    )
+
+
+class TestGateProtocol:
+    def test_param_check(self):
+        with pytest.raises(ValueError):
+            bg.U3Gate().get_unitary((0.1,))
+
+    def test_equality_by_type(self):
+        assert bg.RXGate() == bg.RXGate()
+        assert bg.RXGate() != bg.RYGate()
+
+    def test_constant_gate_grad_empty(self):
+        g = bg.HGate().get_grad(())
+        assert g.shape == (0, 2, 2)

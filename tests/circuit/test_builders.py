@@ -1,0 +1,112 @@
+"""Tests for the benchmark circuit builders (QFT, DTC, Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    FIG5_BENCHMARKS,
+    build_dtc_circuit,
+    build_qft_circuit,
+    build_qsearch_ansatz,
+    fig5_circuit,
+)
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        circ = build_qft_circuit(n)
+        dim = 2**n
+        w = np.exp(2j * np.pi / dim)
+        dft = w ** np.outer(np.arange(dim), np.arange(dim)) / np.sqrt(dim)
+        assert np.allclose(circ.get_unitary(()), dft, atol=1e-10)
+
+    def test_gate_count(self):
+        n = 6
+        circ = build_qft_circuit(n)
+        assert len(circ) == n * (n + 1) // 2 + n // 2
+
+    def test_without_swaps(self):
+        circ = build_qft_circuit(3, include_swaps=False)
+        assert len(circ) == 6
+        # bit-reversed DFT
+        dim = 8
+        w = np.exp(2j * np.pi / dim)
+        dft = w ** np.outer(np.arange(dim), np.arange(dim)) / np.sqrt(dim)
+        rev = [int(f"{i:03b}"[::-1], 2) for i in range(dim)]
+        assert np.allclose(circ.get_unitary(())[rev, :], dft)
+
+    def test_construction_has_no_parameters(self):
+        assert build_qft_circuit(5).num_params == 0
+
+
+class TestDTC:
+    def test_layer_structure(self):
+        n, layers = 6, 3
+        circ = build_dtc_circuit(n, layers)
+        counts = circ.gate_counts()
+        assert counts["RX"] == n * layers
+        assert counts["RZ"] == n * layers
+        assert counts["RZZ"] == (n - 1) * layers
+
+    def test_seed_determinism(self):
+        a = build_dtc_circuit(4, 2, seed=7)
+        b = build_dtc_circuit(4, 2, seed=7)
+        assert np.allclose(a.get_unitary(()), b.get_unitary(()))
+
+    def test_seed_sensitivity(self):
+        a = build_dtc_circuit(4, 1, seed=1)
+        b = build_dtc_circuit(4, 1, seed=2)
+        assert not np.allclose(a.get_unitary(()), b.get_unitary(()))
+
+    def test_all_constant(self):
+        assert build_dtc_circuit(5, 2).num_params == 0
+
+    def test_unitary_output(self):
+        u = build_dtc_circuit(3, 2).get_unitary(())
+        assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-10)
+
+
+class TestAnsatz:
+    def test_qubit_structure(self):
+        circ = build_qsearch_ansatz(3, 4, 2)
+        counts = circ.gate_counts()
+        assert counts["U3"] == 3 + 8
+        assert counts["CX"] == 4
+        assert circ.num_params == 3 * 11
+
+    def test_qutrit_structure(self):
+        circ = build_qsearch_ansatz(3, 4, 3)
+        counts = circ.gate_counts()
+        assert counts["P3"] == 11
+        assert counts["CSUM3"] == 4
+        assert circ.radices == (3, 3, 3)
+
+    def test_single_qudit(self):
+        circ = build_qsearch_ansatz(1, 5, 2)
+        assert len(circ) == 1
+
+    def test_higher_radix(self):
+        circ = build_qsearch_ansatz(2, 1, 4)
+        assert circ.radices == (4, 4)
+        p = np.random.default_rng(0).uniform(
+            -np.pi, np.pi, circ.num_params
+        )
+        u = circ.get_unitary(p)
+        assert np.allclose(u @ u.conj().T, np.eye(16), atol=1e-9)
+
+
+class TestFig5Table:
+    def test_all_benchmarks_buildable(self):
+        for name in FIG5_BENCHMARKS:
+            circ = fig5_circuit(name)
+            assert circ.num_params > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            fig5_circuit("17-qubit mega")
+
+    def test_expected_members(self):
+        assert "3-qubit shallow" in FIG5_BENCHMARKS
+        assert "3-qubit deep" in FIG5_BENCHMARKS
+        assert "3-qutrit shallow" in FIG5_BENCHMARKS

@@ -1,0 +1,168 @@
+"""Tests for QuditCircuit: caching, appending, introspection."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuditCircuit, gates
+from repro.expression import UnitaryExpression
+
+
+class TestConstruction:
+    def test_pure(self):
+        circ = QuditCircuit.pure([2, 3, 2])
+        assert circ.num_qudits == 3
+        assert circ.dim == 12
+        assert circ.radices == (2, 3, 2)
+
+    def test_helpers(self):
+        assert QuditCircuit.qubits(3).radices == (2, 2, 2)
+        assert QuditCircuit.qutrits(2).radices == (3, 3)
+
+    def test_int_radices_rejected(self):
+        with pytest.raises(TypeError):
+            QuditCircuit(3)
+
+    def test_bad_radix_rejected(self):
+        with pytest.raises(ValueError):
+            QuditCircuit([2, 1])
+
+
+class TestExpressionCaching:
+    def test_dedup_by_semantics(self):
+        circ = QuditCircuit.qubits(1)
+        a = circ.cache_operation(gates.rx())
+        b = circ.cache_operation(gates.rx())
+        assert a == b
+
+    def test_alpha_equivalent_shares_ref(self):
+        circ = QuditCircuit.qubits(1)
+        a = circ.cache_operation(
+            UnitaryExpression("G(u) { [[1, 0], [0, e^(i*u)]] }")
+        )
+        b = circ.cache_operation(
+            UnitaryExpression("G(v) { [[1, 0], [0, e^(i*v)]] }")
+        )
+        assert a == b
+
+    def test_distinct_gates_distinct_refs(self):
+        circ = QuditCircuit.qubits(1)
+        assert circ.cache_operation(gates.rx()) != circ.cache_operation(
+            gates.ry()
+        )
+
+    def test_non_unitary_rejected(self):
+        circ = QuditCircuit.qubits(1)
+        bad = UnitaryExpression(
+            "BAD() { [[1, 0], [0, 2]] }"
+        )
+        with pytest.raises(ValueError, match="unitary"):
+            circ.cache_operation(bad)
+
+    def test_check_can_be_skipped(self):
+        circ = QuditCircuit.qubits(1)
+        bad = UnitaryExpression("BAD() { [[1, 0], [0, 2]] }")
+        ref = circ.cache_operation(bad, check=False)
+        assert circ.expression(ref) is bad.matrix
+
+
+class TestAppend:
+    def test_append_ref_allocates_params(self):
+        circ = QuditCircuit.qubits(1)
+        u3 = circ.cache_operation(gates.u3())
+        assert circ.append_ref(u3, 0) == (0, 1, 2)
+        assert circ.append_ref(u3, 0) == (3, 4, 5)
+        assert circ.num_params == 6
+
+    def test_append_constant_allocates_none(self):
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        circ.append_ref_constant(rx, 0, (0.5,))
+        assert circ.num_params == 0
+
+    def test_constant_arity_checked(self):
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        with pytest.raises(ValueError):
+            circ.append_ref_constant(rx, 0, (0.5, 0.6))
+
+    def test_location_arity_checked(self):
+        circ = QuditCircuit.qubits(2)
+        cx = circ.cache_operation(gates.cx())
+        with pytest.raises(ValueError):
+            circ.append_ref_constant(cx, (0,), ())
+
+    def test_radix_compat_checked(self):
+        circ = QuditCircuit.pure([2, 3])
+        cx = circ.cache_operation(gates.cx())
+        with pytest.raises(ValueError):
+            circ.append_ref_constant(cx, (0, 1), ())
+
+    def test_out_of_range_wire(self):
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        with pytest.raises(ValueError):
+            circ.append_ref(rx, 4)
+
+    def test_append_convenience(self):
+        circ = QuditCircuit.qubits(2)
+        circ.append(gates.u3(), 0)
+        circ.append(gates.cx(), (0, 1), values=())
+        assert len(circ) == 2
+        assert circ.num_params == 3
+
+
+class TestIntrospection:
+    def test_depth(self):
+        circ = QuditCircuit.qubits(2)
+        u3 = circ.cache_operation(gates.u3())
+        cx = circ.cache_operation(gates.cx())
+        circ.append_ref(u3, 0)
+        circ.append_ref(u3, 1)
+        circ.append_ref_constant(cx, (0, 1))
+        assert circ.depth() == 2
+
+    def test_gate_counts(self):
+        circ = QuditCircuit.qubits(2)
+        u3 = circ.cache_operation(gates.u3())
+        cx = circ.cache_operation(gates.cx())
+        circ.append_ref(u3, 0)
+        circ.append_ref(u3, 1)
+        circ.append_ref_constant(cx, (0, 1))
+        assert circ.gate_counts() == {"U3": 2, "CX": 1}
+
+    def test_iteration(self):
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        circ.append_ref(rx, 0)
+        ops = list(circ)
+        assert len(ops) == 1
+        assert ops[0].location == (0,)
+
+
+class TestGetUnitary:
+    def test_memoizes_vm(self):
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        circ.append_ref(rx, 0)
+        a = circ.get_unitary([0.5])
+        b = circ.get_unitary([0.5])
+        assert np.allclose(a, b)
+        assert len(circ._vm_cache) == 1
+
+    def test_invalidates_on_append(self):
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        circ.append_ref(rx, 0)
+        u1 = circ.get_unitary([0.0])
+        assert np.allclose(u1, np.eye(2))
+        circ.append_ref_constant(rx, 0, (np.pi,))
+        u2 = circ.get_unitary([0.0])
+        assert not np.allclose(u2, np.eye(2))
+
+    def test_returns_copy(self):
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        circ.append_ref(rx, 0)
+        a = circ.get_unitary([0.1])
+        b = circ.get_unitary([0.9])
+        assert not np.allclose(a, b)  # a is an independent copy

@@ -1,0 +1,218 @@
+"""Gate-library tests: every gate against a NumPy reference."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import gates
+
+SQ2 = 1 / math.sqrt(2)
+
+
+def u3_ref(t, p, l):
+    return np.array(
+        [
+            [np.cos(t / 2), -np.exp(1j * l) * np.sin(t / 2)],
+            [
+                np.exp(1j * p) * np.sin(t / 2),
+                np.exp(1j * (p + l)) * np.cos(t / 2),
+            ],
+        ]
+    )
+
+
+class TestConstantGates:
+    def test_pauli_matrices(self):
+        assert np.allclose(gates.x().unitary(), [[0, 1], [1, 0]])
+        assert np.allclose(gates.y().unitary(), [[0, -1j], [1j, 0]])
+        assert np.allclose(gates.z().unitary(), [[1, 0], [0, -1]])
+
+    def test_hadamard(self):
+        assert np.allclose(
+            gates.h().unitary(), SQ2 * np.array([[1, 1], [1, -1]])
+        )
+
+    def test_phase_family(self):
+        assert np.allclose(gates.s().unitary(), np.diag([1, 1j]))
+        assert np.allclose(
+            gates.t().unitary(), np.diag([1, np.exp(0.25j * np.pi)])
+        )
+        assert np.allclose(
+            gates.sdg().unitary() @ gates.s().unitary(), np.eye(2)
+        )
+        assert np.allclose(
+            gates.tdg().unitary() @ gates.t().unitary(), np.eye(2)
+        )
+
+    def test_sx_squares_to_x(self):
+        sx = gates.sx().unitary()
+        assert np.allclose(sx @ sx, gates.x().unitary())
+
+    def test_cx(self):
+        expected = np.eye(4)[[0, 1, 3, 2]]
+        assert np.allclose(gates.cx().unitary(), expected)
+
+    def test_cz(self):
+        assert np.allclose(gates.cz().unitary(), np.diag([1, 1, 1, -1]))
+
+    def test_swap_and_iswap(self):
+        sw = gates.swap().unitary()
+        assert np.allclose(sw @ sw, np.eye(4))
+        isw = gates.iswap().unitary()
+        assert np.allclose(np.abs(isw), np.abs(sw))
+
+    def test_ccx_permutation(self):
+        ccx = gates.ccx().unitary()
+        expected = np.eye(8)[[0, 1, 2, 3, 4, 5, 7, 6]]
+        assert np.allclose(ccx, expected)
+
+    def test_cswap(self):
+        cs = gates.cswap().unitary()
+        assert np.allclose(cs[:4, :4], np.eye(4))
+        assert np.allclose(cs[4:, 4:], gates.swap().unitary())
+
+
+class TestParameterizedGates:
+    def test_u3_reference(self):
+        p = [0.3, 1.1, -0.7]
+        assert np.allclose(gates.u3().unitary(p), u3_ref(*p))
+
+    def test_u2_is_u3_special_case(self):
+        phi, lam = 0.4, -1.3
+        assert np.allclose(
+            gates.u2().unitary([phi, lam]),
+            u3_ref(np.pi / 2, phi, lam),
+        )
+
+    def test_u1_and_p(self):
+        assert np.allclose(
+            gates.u1().unitary([0.7]), np.diag([1, np.exp(0.7j)])
+        )
+        assert np.allclose(
+            gates.p().unitary([0.7]), gates.u1().unitary([0.7])
+        )
+
+    def test_rotations_at_zero_are_identity(self):
+        for g in (gates.rx(), gates.ry(), gates.rz()):
+            assert np.allclose(g.unitary([0.0]), np.eye(2))
+
+    def test_rotation_periodicity(self):
+        for g in (gates.rx(), gates.ry(), gates.rz()):
+            assert np.allclose(
+                g.unitary([2 * np.pi]), -np.eye(2), atol=1e-12
+            )
+
+    def test_two_qubit_rotations_at_zero(self):
+        for g in (gates.rxx(), gates.ryy(), gates.rzz()):
+            assert np.allclose(g.unitary([0.0]), np.eye(4))
+
+    def test_crz_controls(self):
+        u = gates.crz().unitary([0.9])
+        assert np.allclose(u[:2, :2], np.eye(2))
+        assert np.allclose(u[2:, 2:], gates.rz().unitary([0.9]))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [gates.u1, gates.u2, gates.u3, gates.rx, gates.ry, gates.rz,
+         gates.rxx, gates.ryy, gates.rzz, gates.cp, gates.crz],
+    )
+    def test_unitarity(self, factory):
+        g = factory()
+        params = np.random.default_rng(0).uniform(
+            -np.pi, np.pi, g.num_params
+        )
+        assert g.is_unitary(params)
+
+
+class TestQuditGates:
+    def test_shift_cycles(self):
+        x3 = gates.shift(3).unitary()
+        state = np.array([1, 0, 0], dtype=complex)
+        assert np.allclose(x3 @ state, [0, 1, 0])
+        assert np.allclose(
+            np.linalg.matrix_power(x3, 3), np.eye(3)
+        )
+
+    def test_clock_phases(self):
+        z3 = gates.clock(3).unitary()
+        w = np.exp(2j * np.pi / 3)
+        assert np.allclose(np.diag(z3), [1, w, w**2])
+
+    def test_weyl_commutation(self):
+        # Z X = w X Z for the clock/shift pair (X|j> = |j+1 mod d>).
+        d = 3
+        x, z = gates.shift(d).unitary(), gates.clock(d).unitary()
+        w = np.exp(2j * np.pi / d)
+        assert np.allclose(z @ x, w * (x @ z))
+
+    def test_qudit_hadamard_is_dft(self):
+        h4 = gates.qudit_hadamard(4).unitary()
+        assert np.allclose(h4 @ h4.conj().T, np.eye(4), atol=1e-12)
+
+    def test_csum_action(self):
+        c = gates.csum(3).unitary()
+        # |2, 1> -> |2, (2+1)%3> = |2, 0>
+        src = np.zeros(9)
+        src[2 * 3 + 1] = 1
+        dst = c @ src
+        assert dst[2 * 3 + 0] == 1
+
+    def test_qutrit_phase(self):
+        u = gates.qutrit_phase().unitary([0.4, -0.9])
+        assert np.allclose(
+            u, np.diag([1, np.exp(0.4j), np.exp(-0.9j)])
+        )
+
+    def test_embedded_u3_levels(self):
+        g = gates.embedded_u3(3, 0, 2)
+        p = [0.7, 0.2, -0.5]
+        u = g.unitary(p)
+        ref = u3_ref(*p)
+        sub = u[np.ix_([0, 2], [0, 2])]
+        assert np.allclose(sub, ref)
+        assert u[1, 1] == 1
+
+    def test_embedded_u3_bad_levels(self):
+        with pytest.raises(ValueError):
+            gates.embedded_u3(3, 2, 1)
+
+    def test_rdiag(self):
+        g = gates.rdiag(3)
+        assert g.num_params == 2
+        u = g.unitary([0.1, 0.2])
+        assert np.allclose(
+            u, np.diag([1, np.exp(0.1j), np.exp(0.2j)])
+        )
+
+
+class TestCompositionality:
+    def test_cx_is_controlled_x(self):
+        assert np.allclose(
+            gates.x().controlled().unitary(), gates.cx().unitary()
+        )
+
+    def test_dagger_inverts(self):
+        g = gates.u3()
+        p = [0.5, 1.0, -0.3]
+        assert np.allclose(
+            g.dagger().unitary(p) @ g.unitary(p), np.eye(2), atol=1e-12
+        )
+
+    def test_kron_parallel(self):
+        g = gates.rx().kron(gates.rz())
+        assert g.num_qudits == 2
+        assert np.allclose(
+            g.unitary([0.3, 0.7]),
+            np.kron(
+                gates.rx().unitary([0.3]), gates.rz().unitary([0.7])
+            ),
+        )
+
+    def test_matmul_sequential(self):
+        g = gates.h() @ gates.h()
+        assert np.allclose(g.unitary(), np.eye(2), atol=1e-12)
+
+    def test_memoized_factories(self):
+        assert gates.u3() is gates.u3()
+        assert gates.csum(3) is gates.csum(3)

@@ -1,0 +1,72 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline.circuit import BaselineCircuit
+from repro.circuit import QuditCircuit, gates
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_params(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(-np.pi, np.pi, n)
+
+
+# A pool of (repro gate factory, baseline gate instance, radix) pairs
+# used by the cross-framework property tests.
+def paired_gate_pool():
+    from repro.baseline import gates as bg
+
+    return [
+        (gates.u3(), bg.U3Gate(), 2),
+        (gates.rx(), bg.RXGate(), 2),
+        (gates.ry(), bg.RYGate(), 2),
+        (gates.rz(), bg.RZGate(), 2),
+        (gates.h(), bg.HGate(), 2),
+        (gates.x(), bg.XGate(), 2),
+        (gates.cx(), bg.CXGate(), 2),
+        (gates.cz(), bg.CZGate(), 2),
+        (gates.swap(), bg.SwapGate(), 2),
+        (gates.rzz(), bg.RZZGate(), 2),
+        (gates.cp(), bg.CPGate(), 2),
+    ]
+
+
+def build_random_circuit_pair(
+    seed: int, num_qudits: int = 3, num_ops: int = 8
+) -> tuple[QuditCircuit, BaselineCircuit, int]:
+    """Build matching OpenQudit/baseline random qubit circuits.
+
+    Returns (circuit, baseline_circuit, num_params).
+    """
+    rng = np.random.default_rng(seed)
+    pool = paired_gate_pool()
+    circ = QuditCircuit.pure([2] * num_qudits)
+    base = BaselineCircuit([2] * num_qudits)
+    refs = {}
+    for _ in range(num_ops):
+        expr, bgate, _ = pool[rng.integers(len(pool))]
+        k = bgate.num_qudits
+        if k > num_qudits:
+            continue
+        loc = tuple(
+            int(q) for q in rng.choice(num_qudits, size=k, replace=False)
+        )
+        key = expr.name
+        if key not in refs:
+            refs[key] = circ.cache_operation(expr)
+        if bgate.num_params and rng.random() < 0.5:
+            # constant binding
+            vals = tuple(rng.uniform(-np.pi, np.pi, bgate.num_params))
+            circ.append_ref_constant(refs[key], loc, vals)
+            base.append_gate(bgate, loc, vals)
+        else:
+            circ.append_ref(refs[key], loc)
+            base.append_gate(bgate, loc, parameterized=True)
+    return circ, base, circ.num_params

@@ -1,0 +1,130 @@
+"""Unit tests for the e-graph data structure."""
+
+import math
+
+from repro.egraph.egraph import EGraph
+from repro.symbolic import expr as E
+
+
+class TestAdd:
+    def test_hashcons_dedup(self):
+        eg = EGraph()
+        a = eg.add("var", "x")
+        b = eg.add("var", "x")
+        assert a == b
+        assert eg.num_classes == 1
+
+    def test_distinct_nodes(self):
+        eg = EGraph()
+        assert eg.add("var", "x") != eg.add("var", "y")
+
+    def test_add_expr(self):
+        eg = EGraph()
+        root = eg.add_expr(E.sin(E.var("x")) + E.const(1))
+        assert root == eg.find(root)
+        # x, sin(x), 1, + : four classes
+        assert eg.num_classes == 4
+
+    def test_shared_subexpression_one_class(self):
+        eg = EGraph()
+        x = E.var("x")
+        eg.add_expr(E.sin(x) * E.sin(x))
+        ops = sorted(
+            node[0] for cls in eg.eclasses() for node in cls.nodes
+        )
+        assert ops.count("sin") == 1
+
+
+class TestUnionFind:
+    def test_union_merges(self):
+        eg = EGraph()
+        a = eg.add("var", "x")
+        b = eg.add("var", "y")
+        root = eg.union(a, b)
+        assert eg.find(a) == eg.find(b) == root
+        assert eg.num_classes == 1
+
+    def test_union_idempotent(self):
+        eg = EGraph()
+        a = eg.add("var", "x")
+        assert eg.union(a, a) == eg.find(a)
+        assert eg.num_unions == 0
+
+    def test_congruence_closure(self):
+        # x == y implies f(x) == f(y) after rebuild.
+        eg = EGraph()
+        x = eg.add("var", "x")
+        y = eg.add("var", "y")
+        fx = eg.add("sin", None, (x,))
+        fy = eg.add("sin", None, (y,))
+        assert eg.find(fx) != eg.find(fy)
+        eg.union(x, y)
+        eg.rebuild()
+        assert eg.find(fx) == eg.find(fy)
+
+    def test_transitive_congruence(self):
+        # x == y implies g(f(x)) == g(f(y)).
+        eg = EGraph()
+        x = eg.add("var", "x")
+        y = eg.add("var", "y")
+        gfx = eg.add("cos", None, (eg.add("sin", None, (x,)),))
+        gfy = eg.add("cos", None, (eg.add("sin", None, (y,)),))
+        eg.union(x, y)
+        eg.rebuild()
+        assert eg.find(gfx) == eg.find(gfy)
+
+    def test_add_after_union_respects_canonical(self):
+        eg = EGraph()
+        x = eg.add("var", "x")
+        y = eg.add("var", "y")
+        eg.union(x, y)
+        eg.rebuild()
+        fx = eg.add("sin", None, (x,))
+        fy = eg.add("sin", None, (y,))
+        assert eg.find(fx) == eg.find(fy)
+
+
+class TestConstantFolding:
+    def test_fold_addition(self):
+        eg = EGraph()
+        two = eg.add("const", 2.0)
+        three = eg.add("const", 3.0)
+        s = eg.add("+", None, (two, three))
+        assert eg.classes[eg.find(s)].const == 5.0
+
+    def test_fold_injects_literal_node(self):
+        eg = EGraph()
+        s = eg.add(
+            "+", None, (eg.add("const", 2.0), eg.add("const", 3.0))
+        )
+        nodes = eg.classes[eg.find(s)].nodes
+        assert ("const", 5.0, ()) in nodes
+
+    def test_fold_pi(self):
+        eg = EGraph()
+        p = eg.add("pi")
+        assert eg.classes[eg.find(p)].const == math.pi
+
+    def test_fold_propagates_through_union(self):
+        eg = EGraph()
+        x = eg.add("var", "x")
+        two = eg.add("const", 2.0)
+        eg.union(x, two)
+        eg.rebuild()
+        # sin(x) now folds because x == 2.
+        s = eg.add("sin", None, (x,))
+        assert eg.classes[eg.find(s)].const is None or math.isclose(
+            eg.classes[eg.find(s)].const, math.sin(2.0)
+        )
+
+    def test_no_fold_for_variables(self):
+        eg = EGraph()
+        x = eg.add("var", "x")
+        assert eg.classes[eg.find(x)].const is None
+
+    def test_unsafe_fold_skipped(self):
+        eg = EGraph()
+        one = eg.add("const", 1.0)
+        zero = eg.add("const", 0.0)
+        d = eg.add("/", None, (one, zero))
+        assert eg.classes[eg.find(d)].const is None

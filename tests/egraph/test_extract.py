@@ -1,0 +1,181 @@
+"""Tests for cost-model extraction: Table I semantics and the paper's
+greedy CSE extraction, including the U2 worked example."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.egraph import (
+    EGraph,
+    GreedyExtractor,
+    Runner,
+    expression_cost,
+    op_cost,
+    simplify,
+    simplify_all,
+)
+from repro.symbolic import expr as E
+
+X = E.var("x")
+
+
+class TestCostModel:
+    def test_table_entries(self):
+        assert op_cost("pi") == 0.0
+        assert op_cost("var") == 0.0
+        assert op_cost("const") == 0.5
+        assert op_cost("+") == op_cost("-") == op_cost("~") == 1.0
+        assert op_cost("*") == op_cost("/") == 5.0
+        assert op_cost("sin") == op_cost("cos") == op_cost("sqrt") == 50.0
+        assert op_cost("exp") == op_cost("ln") == op_cost("pow") == 100.0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            op_cost("matmul")
+
+    def test_expression_cost_dag_aware(self):
+        s = E.sin(X)
+        assert expression_cost(s * s) == 55.0  # one sin + one mul
+
+
+class TestSimplify:
+    def test_pythagorean_identity(self):
+        e = E.sin(X) * E.sin(X) + E.cos(X) * E.cos(X)
+        assert simplify(e).is_one
+
+    def test_sin_negation(self):
+        e = E.Expr("sin", (E.Expr("~", (X,)),))
+        out = simplify(e)
+        assert out is E.neg(E.sin(X))
+
+    def test_double_angle_contraction(self):
+        # 2 sin x cos x should simplify to sin(2x)?  No — cost favors
+        # the *expanded* form only when sin x/cos x are already paid
+        # for; standalone, sin(2x) (one trig) beats the product (two
+        # trigs + muls).
+        e = E.TWO * (E.sin(X) * E.cos(X))
+        out = simplify(e)
+        assert expression_cost(out) <= expression_cost(e)
+        for v in (0.3, 1.2, -0.8):
+            assert math.isclose(
+                E.evaluate(out, {"x": v}),
+                math.sin(2 * v),
+                abs_tol=1e-12,
+            )
+
+    def test_constant_folding_through_rules(self):
+        e = E.Expr("-", (E.Expr("+", (X, E.const(2))), E.const(2)))
+        out = simplify(e)
+        assert out is X
+
+    def test_cost_never_increases(self):
+        exprs = [
+            E.sin(X + E.var("y")),
+            E.exp(X) * E.exp(E.var("y")),
+            E.cos(X) * E.cos(X) - E.sin(X) * E.sin(X),
+        ]
+        for e in exprs:
+            assert expression_cost(simplify(e)) <= expression_cost(e)
+
+
+class TestU2Example:
+    """Paper section III-C's worked CSE example.
+
+    The U2 gate contains e^(i*phi), e^(i*lambda) and e^(i*(phi+lambda)).
+    After extraction of the first two (cost zeroed), the angle-sum form
+    of the third must win: it reuses the computed sin/cos and pays only
+    cheap arithmetic instead of two fresh trig calls.
+    """
+
+    def test_third_element_reuses_subexpressions(self):
+        phi, lam = E.var("phi"), E.var("lam")
+        roots = [
+            E.cos(phi), E.sin(phi),      # e^(i*phi) components
+            E.cos(lam), E.sin(lam),      # e^(i*lambda) components
+            E.cos(phi + lam), E.sin(phi + lam),
+        ]
+        out = simplify_all(roots)
+        # First four stay atomic.
+        assert out[0] is E.cos(phi)
+        assert out[3] is E.sin(lam)
+        # The sum-angle components must be rewritten into products of
+        # the already-extracted parts: no trig of (phi+lam) remains.
+        for e in out[4:]:
+            for node in E.postorder(e):
+                if node.op in ("sin", "cos"):
+                    assert node.children[0] in (phi, lam), (
+                        f"unexpanded trig call {node} survived"
+                    )
+
+    def test_without_prior_roots_trig_form_wins(self):
+        phi, lam = E.var("phi"), E.var("lam")
+        out = simplify(E.cos(phi + lam))
+        # Standalone, one trig call (cost 51) beats the expansion
+        # (4 trig + arithmetic).
+        assert out is E.cos(phi + lam) or expression_cost(out) <= 51.0
+
+
+class TestGreedyExtractor:
+    def test_multi_extract_shares(self):
+        eg = EGraph()
+        a = eg.add_expr(E.sin(X))
+        b = eg.add_expr(E.sin(X) * E.cos(X))
+        Runner().run(eg)
+        ex = GreedyExtractor(eg)
+        first = ex.extract(a)
+        second = ex.extract(b)
+        # The sin(x) inside the second extraction is the same object.
+        assert any(n is first for n in E.postorder(second))
+
+    def test_extract_reports_missing_class(self):
+        eg = EGraph()
+        a = eg.add_expr(E.sin(X))
+        ex = GreedyExtractor(eg)
+        assert ex.extract(a) is E.sin(X)
+
+
+def semantic_exprs():
+    leaves = st.one_of(
+        st.integers(-3, 3).map(lambda v: E.const(float(v))),
+        st.sampled_from([E.var("x"), E.var("y")]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(
+                lambda p: E.Expr("+", p)
+            ),
+            st.tuples(children, children).map(
+                lambda p: E.Expr("*", p)
+            ),
+            st.tuples(children, children).map(
+                lambda p: E.Expr("-", p)
+            ),
+            children.map(lambda c: E.Expr("sin", (c,))),
+            children.map(lambda c: E.Expr("cos", (c,))),
+            children.map(lambda c: E.Expr("~", (c,))),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestSemanticPreservation:
+    @given(semantic_exprs(), st.floats(-2, 2), st.floats(-2, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_preserves_value(self, expr, xv, yv):
+        out = simplify(expr)
+        env = {"x": xv, "y": yv}
+        assert math.isclose(
+            E.evaluate(expr, env),
+            E.evaluate(out, env),
+            rel_tol=1e-7,
+            abs_tol=1e-7,
+        )
+
+    @given(semantic_exprs())
+    @settings(max_examples=40, deadline=None)
+    def test_simplify_never_raises_cost(self, expr):
+        assert expression_cost(simplify(expr)) <= expression_cost(expr) + 1e-9

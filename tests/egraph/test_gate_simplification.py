@@ -1,0 +1,94 @@
+"""Simplification soundness over the entire QGL gate library.
+
+For every gate: jointly simplify all real/imaginary components of the
+unitary and its gradient (exactly what CompiledExpression does), then
+check numeric equivalence on random parameter draws and that the total
+Table I cost never increased.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import gates
+from repro.egraph import expression_cost, simplify_all
+from repro.symbolic import expr as E
+
+GATE_FACTORIES = [
+    gates.u1, gates.u2, gates.u3, gates.rx, gates.ry, gates.rz,
+    gates.rxx, gates.ryy, gates.rzz, gates.cp, gates.crz,
+    gates.qutrit_phase, lambda: gates.embedded_u3(3, 0, 1),
+]
+
+
+def gate_roots(matrix):
+    roots = []
+    for _, elem in matrix.elements():
+        roots.append(elem.re)
+        roots.append(elem.im)
+    for gmat in matrix.gradient():
+        for _, elem in gmat.elements():
+            roots.append(elem.re)
+            roots.append(elem.im)
+    return roots
+
+
+@pytest.mark.parametrize(
+    "factory", GATE_FACTORIES,
+    ids=[f().name or "?" for f in GATE_FACTORIES],
+)
+def test_simplification_preserves_gate_semantics(factory):
+    matrix = factory().matrix
+    roots = gate_roots(matrix)
+    simplified = simplify_all(roots)
+    rng = np.random.default_rng(7)
+    for _ in range(3):
+        env = {
+            p: float(rng.uniform(-np.pi, np.pi)) for p in matrix.params
+        }
+        for before, after in zip(roots, simplified):
+            assert E.evaluate(before, env) == pytest.approx(
+                E.evaluate(after, env), abs=1e-9
+            )
+
+
+@pytest.mark.parametrize(
+    "factory", GATE_FACTORIES,
+    ids=[f().name or "?" for f in GATE_FACTORIES],
+)
+def test_simplification_never_raises_dag_cost(factory):
+    """DAG-aware cost over the whole batch must not increase: shared
+    subexpressions count once, as the JIT emits them."""
+    matrix = factory().matrix
+    roots = gate_roots(matrix)
+    simplified = simplify_all(roots)
+
+    def batch_cost(exprs):
+        seen = set()
+        total = 0.0
+        from repro.egraph.cost import op_cost
+
+        for e in exprs:
+            for node in E.postorder(e):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    total += op_cost(node.op)
+        return total
+
+    assert batch_cost(simplified) <= batch_cost(roots) + 1e-9
+
+
+def test_u3_simplification_reaches_six_trig_calls():
+    """The headline CSE effect: U3 + gradient needs only sin/cos of
+    theta/2, phi, and lambda (six trig evaluations total)."""
+    matrix = gates.u3().matrix
+    simplified = simplify_all(gate_roots(matrix))
+    seen = set()
+    trig = 0
+    for e in simplified:
+        for node in E.postorder(e):
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node.op in ("sin", "cos"):
+                trig += 1
+    assert trig == 6

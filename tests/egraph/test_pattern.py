@@ -1,0 +1,112 @@
+"""Unit tests for pattern parsing and e-matching."""
+
+import pytest
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.pattern import (
+    PatNode,
+    PatVar,
+    Rewrite,
+    instantiate,
+    match_in_class,
+    parse_pattern,
+)
+from repro.symbolic import expr as E
+
+
+class TestParse:
+    def test_variable(self):
+        assert parse_pattern("?x") == PatVar("x")
+
+    def test_node(self):
+        p = parse_pattern("(sin ?x)")
+        assert isinstance(p, PatNode)
+        assert p.op == "sin"
+        assert p.children == (PatVar("x"),)
+
+    def test_const_leaf(self):
+        p = parse_pattern("2")
+        assert p.op == "const" and p.payload == 2.0
+
+    def test_pi_leaf(self):
+        assert parse_pattern("pi").op == "pi"
+
+    def test_nested(self):
+        p = parse_pattern("(+ (* ?a ?b) 1)")
+        assert p.op == "+"
+        assert p.children[0].op == "*"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pattern("?x ?y")
+
+
+class TestMatching:
+    def test_simple_match(self):
+        eg = EGraph()
+        root = eg.add_expr(E.sin(E.var("a")))
+        matches = match_in_class(eg, parse_pattern("(sin ?x)"), root)
+        assert len(matches) == 1
+
+    def test_no_match(self):
+        eg = EGraph()
+        root = eg.add_expr(E.cos(E.var("a")))
+        assert not match_in_class(eg, parse_pattern("(sin ?x)"), root)
+
+    def test_nonlinear_pattern(self):
+        eg = EGraph()
+        x = E.var("x")
+        same = eg.add_expr(x * x)
+        diff = eg.add_expr(x * E.var("y"))
+        pat = parse_pattern("(* ?a ?a)")
+        assert match_in_class(eg, pat, same)
+        assert not match_in_class(eg, pat, diff)
+
+    def test_const_literal_match(self):
+        eg = EGraph()
+        two_x = eg.add_expr(E.Expr("*", (E.const(2), E.var("x"))))
+        pat = parse_pattern("(* 2 ?x)")
+        assert match_in_class(eg, pat, two_x)
+
+    def test_match_after_union(self):
+        # Matching sees through equivalences: if y == sin(x), then
+        # cos(y) matches (cos (sin ?a)).
+        eg = EGraph()
+        y = eg.add("var", "y")
+        sinx = eg.add("sin", None, (eg.add("var", "x"),))
+        cosy = eg.add("cos", None, (y,))
+        eg.union(y, sinx)
+        eg.rebuild()
+        assert match_in_class(
+            eg, parse_pattern("(cos (sin ?a))"), cosy
+        )
+
+    def test_instantiate(self):
+        eg = EGraph()
+        x = eg.add("var", "x")
+        cid = instantiate(
+            eg, parse_pattern("(sin ?a)"), {"a": x}
+        )
+        assert ("sin", None, (x,)) in eg.classes[eg.find(cid)].nodes
+
+
+class TestRewrite:
+    def test_apply_unions(self):
+        eg = EGraph()
+        # Build the raw shape (sin (~ x)); the smart constructor would
+        # fold it to (~ (sin x)) before it reaches the e-graph.
+        root = eg.add_expr(E.Expr("sin", (E.Expr("~", (E.var("x"),)),)))
+        rw = Rewrite("sin-neg", "(sin (~ ?x))", "(~ (sin ?x))")
+        matches = rw.search(eg)
+        assert matches
+        rw.apply(eg, matches)
+        eg.rebuild()
+        neg_sin = eg.add_expr(E.Expr("~", (E.sin(E.var("x")),)))
+        assert eg.find(neg_sin) == eg.find(root)
+
+    def test_search_across_classes(self):
+        eg = EGraph()
+        eg.add_expr(E.sin(E.var("a")))
+        eg.add_expr(E.sin(E.var("b")))
+        rw = Rewrite("any-sin", "(sin ?x)", "(sin ?x)")
+        assert len(rw.search(eg)) == 2

@@ -1,0 +1,97 @@
+"""Tests for the Adam infidelity minimizer (optimizer ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_qsearch_ansatz
+from repro.instantiation.gd import (
+    AdamOptions,
+    InfidelityFunction,
+    adam_minimize,
+)
+from repro.tnvm import TNVM, Differentiation
+
+
+@pytest.fixture(scope="module")
+def problem():
+    circ = build_qsearch_ansatz(2, 2, 2)
+    vm = TNVM(circ.compile(), diff=Differentiation.GRADIENT)
+    rng = np.random.default_rng(5)
+    p_true = rng.uniform(-np.pi, np.pi, circ.num_params)
+    target = circ.get_unitary(p_true)
+    return circ, vm, target, p_true
+
+
+class TestInfidelityFunction:
+    def test_value_matches_reference(self, problem):
+        circ, vm, target, _ = problem
+        fn = InfidelityFunction(vm, target)
+        p = np.random.default_rng(0).uniform(-1, 1, circ.num_params)
+        value, _ = fn.value_and_grad(p)
+        from repro.utils import hilbert_schmidt_infidelity
+
+        u = circ.get_unitary(p)
+        assert value == pytest.approx(
+            hilbert_schmidt_infidelity(target, u), abs=1e-12
+        )
+
+    def test_gradient_matches_finite_difference(self, problem):
+        circ, vm, target, _ = problem
+        fn = InfidelityFunction(vm, target)
+        p = np.random.default_rng(1).uniform(-1, 1, circ.num_params)
+        _, grad = fn.value_and_grad(p)
+        eps = 1e-7
+        for k in range(min(5, circ.num_params)):
+            bumped = p.copy()
+            bumped[k] += eps
+            v_hi, _ = fn.value_and_grad(bumped)
+            v_lo, _ = fn.value_and_grad(p)
+            assert grad[k] == pytest.approx(
+                (v_hi - v_lo) / eps, abs=1e-4
+            )
+
+    def test_zero_at_target(self, problem):
+        circ, vm, target, p_true = problem
+        fn = InfidelityFunction(vm, target)
+        value, grad = fn.value_and_grad(p_true)
+        assert value == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(grad, 0.0, atol=1e-6)
+
+    def test_requires_gradient_vm(self, problem):
+        circ, _, target, _ = problem
+        plain = TNVM(circ.compile(), diff=Differentiation.NONE)
+        with pytest.raises(ValueError):
+            InfidelityFunction(plain, target)
+
+
+class TestAdam:
+    def test_descends_from_near_solution(self, problem):
+        circ, vm, target, p_true = problem
+        fn = InfidelityFunction(vm, target)
+        x0 = p_true + 0.05 * np.random.default_rng(2).normal(
+            size=circ.num_params
+        )
+        result = adam_minimize(
+            fn, x0, AdamOptions(max_iterations=800,
+                                success_infidelity=1e-6,
+                                learning_rate=0.02)
+        )
+        assert result.infidelity < fn.value_and_grad(x0)[0]
+        assert result.infidelity < 1e-4
+
+    def test_success_short_circuit(self, problem):
+        circ, vm, target, p_true = problem
+        fn = InfidelityFunction(vm, target)
+        result = adam_minimize(
+            fn, p_true, AdamOptions(success_infidelity=1e-8)
+        )
+        assert result.stop_reason == "success-threshold"
+        assert result.iterations <= 2
+
+    def test_iteration_cap(self, problem):
+        circ, vm, target, _ = problem
+        fn = InfidelityFunction(vm, target)
+        x0 = np.zeros(circ.num_params)
+        result = adam_minimize(fn, x0, AdamOptions(max_iterations=5))
+        assert result.iterations <= 5
+        assert not result.converged or result.stop_reason != "max-iterations"

@@ -1,0 +1,99 @@
+"""Tests for the naive Levenberg-Marquardt optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.instantiation.lm import LMOptions, levenberg_marquardt
+
+
+def linear_problem(seed=0, m=20, n=5):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, n))
+    x_true = rng.normal(size=n)
+    b = a @ x_true
+
+    def fn(x):
+        return a @ x - b, a
+
+    return fn, x_true
+
+
+class TestConvergence:
+    def test_linear_least_squares_exact(self):
+        fn, x_true = linear_problem()
+        result = levenberg_marquardt(fn, np.zeros(5))
+        assert result.cost < 1e-18
+        assert np.allclose(result.params, x_true, atol=1e-8)
+
+    def test_rosenbrock_residuals(self):
+        # Classic (1-x)^2 + 100 (y - x^2)^2 in residual form.
+        def fn(v):
+            x, y = v
+            r = np.array([1 - x, 10 * (y - x * x)])
+            jac = np.array([[-1.0, 0.0], [-20 * x, 10.0]])
+            return r, jac
+
+        result = levenberg_marquardt(
+            fn, np.array([-1.2, 1.0]),
+            LMOptions(max_iterations=500),
+        )
+        assert np.allclose(result.params, [1.0, 1.0], atol=1e-6)
+
+    def test_nonlinear_sinusoid_fit(self):
+        rng = np.random.default_rng(3)
+        ts = np.linspace(0, 1, 40)
+        true = np.array([1.3, 2.1])
+        data = true[0] * np.sin(true[1] * ts)
+
+        def fn(v):
+            a, w = v
+            r = a * np.sin(w * ts) - data
+            jac = np.stack(
+                [np.sin(w * ts), a * ts * np.cos(w * ts)], axis=1
+            )
+            return r, jac
+
+        result = levenberg_marquardt(fn, np.array([1.0, 2.0]))
+        assert np.allclose(result.params, true, atol=1e-6)
+
+
+class TestStopping:
+    def test_success_cost_short_circuits(self):
+        fn, _ = linear_problem()
+        loose = levenberg_marquardt(
+            fn, np.zeros(5), LMOptions(success_cost=1e-2)
+        )
+        tight = levenberg_marquardt(fn, np.zeros(5))
+        assert loose.stop_reason == "success-threshold"
+        assert loose.num_evaluations <= tight.num_evaluations
+
+    def test_max_iterations_respected(self):
+        def fn(x):
+            # A stubborn nonlinear residual.
+            return np.array([np.exp(x[0]) - 2, x[0] ** 3]), np.array(
+                [[np.exp(x[0])], [3 * x[0] ** 2]]
+            )
+
+        result = levenberg_marquardt(
+            fn, np.array([5.0]), LMOptions(max_iterations=3)
+        )
+        assert result.iterations <= 3
+
+    def test_zero_parameter_problem(self):
+        def fn(x):
+            return np.array([1.0]), np.zeros((1, 0))
+
+        result = levenberg_marquardt(fn, np.zeros(0))
+        assert result.stop_reason == "no-parameters"
+        assert result.cost == 1.0
+
+    def test_already_converged_gradient(self):
+        fn, x_true = linear_problem()
+        result = levenberg_marquardt(fn, x_true)
+        assert result.converged
+        assert result.iterations <= 2
+
+    def test_evaluation_accounting(self):
+        fn, _ = linear_problem()
+        result = levenberg_marquardt(fn, np.zeros(5))
+        assert result.num_evaluations >= result.iterations

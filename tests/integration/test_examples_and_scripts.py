@@ -1,0 +1,52 @@
+"""Smoke checks that every example and benchmark script is importable
+and structurally sound (full runs are exercised manually / in CI)."""
+
+import ast
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+SCRIPTS = sorted(
+    list((ROOT / "examples").glob("*.py"))
+    + [
+        ROOT / "benchmarks" / "run_fig4.py",
+        ROOT / "benchmarks" / "run_instantiation.py",
+    ]
+)
+
+
+@pytest.mark.parametrize(
+    "path", SCRIPTS, ids=[p.name for p in SCRIPTS]
+)
+def test_script_parses_and_has_main(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    functions = {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, f"{path.name} must define main()"
+    # Every script is guarded so importing it never runs the workload.
+    guards = [
+        node
+        for node in tree.body
+        if isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+    ]
+    assert guards, f"{path.name} missing __main__ guard"
+
+
+def test_example_count_meets_deliverable():
+    examples = list((ROOT / "examples").glob("*.py"))
+    assert len(examples) >= 3
+
+
+def test_every_public_module_has_docstring():
+    missing = []
+    for path in (ROOT / "src" / "repro").rglob("*.py"):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if not ast.get_docstring(tree) and path.name != "__init__.py":
+            missing.append(str(path))
+    assert not missing, f"modules without docstrings: {missing}"

@@ -1,0 +1,123 @@
+"""Tests for the UnitaryExpression public API (composability surface)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import gates
+from repro.expression import UnitaryExpression
+from repro.symbolic import expr as E
+
+
+class TestConstruction:
+    def test_from_qgl_text(self):
+        g = UnitaryExpression("G(t) { [[e^(~i*t), 0], [0, e^(i*t)]] }")
+        assert g.name == "G"
+        assert g.params == ("t",)
+        assert g.dim == 2
+
+    def test_from_matrix(self):
+        g = UnitaryExpression(gates.rx().matrix)
+        assert g.num_params == 1
+
+    def test_rename_on_construction(self):
+        g = UnitaryExpression(gates.rx().matrix, name="MyRX")
+        assert g.name == "MyRX"
+
+    def test_from_numpy(self):
+        from repro.utils import random_unitary
+
+        u = random_unitary(4, rng=0)
+        g = UnitaryExpression.from_numpy(u, name="RAND")
+        assert g.num_params == 0
+        assert np.allclose(g.unitary(), u)
+
+    def test_rejects_non_square(self):
+        from repro.symbolic.matrix import ExpressionMatrix
+
+        rect = ExpressionMatrix([[E.ONE, E.ZERO]])
+        with pytest.raises(ValueError):
+            UnitaryExpression(rect)
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            UnitaryExpression(42)
+
+    def test_immutability(self):
+        g = gates.rx()
+        with pytest.raises(AttributeError):
+            g.matrix = None
+
+
+class TestParameterSurgery:
+    def test_bind(self):
+        g = gates.u3().bind({"phi": 0.0, "lambda": 0.0})
+        assert g.params == ("theta",)
+        assert np.allclose(
+            g.unitary([0.4]), gates.ry().unitary([0.4]), atol=1e-12
+        )
+
+    def test_substitute_ties_parameters(self):
+        # U3(t, t, t): one knob drives all three angles.
+        tied = gates.u3().substitute(
+            {"phi": E.var("t"), "lambda": E.var("t"), "theta": E.var("t")}
+        )
+        assert tied.params == ("t",)
+        assert np.allclose(
+            tied.unitary([0.8]),
+            gates.u3().unitary([0.8, 0.8, 0.8]),
+        )
+
+    def test_substitute_scaling(self):
+        # RX with a doubled angle.
+        double = gates.rx().substitute({"theta": E.TWO * E.var("w")})
+        assert np.allclose(
+            double.unitary([0.3]), gates.rx().unitary([0.6])
+        )
+
+    def test_rename(self):
+        g = gates.rx().rename_params({"theta": "angle"})
+        assert g.params == ("angle",)
+
+
+class TestComposition:
+    def test_kron_keeps_params_independent(self):
+        g = gates.rx().kron(gates.rx())
+        assert g.num_params == 2
+        assert np.allclose(
+            g.unitary([0.3, 0.9]),
+            np.kron(
+                gates.rx().unitary([0.3]), gates.rx().unitary([0.9])
+            ),
+        )
+
+    def test_matmul_keeps_params_independent(self):
+        g = gates.rz() @ gates.rz()
+        assert g.num_params == 2
+        assert np.allclose(
+            g.unitary([0.3, 0.9]),
+            gates.rz().unitary([0.3]) @ gates.rz().unitary([0.9]),
+        )
+
+    def test_double_control(self):
+        ccrx = gates.rx().controlled().controlled()
+        u = ccrx.unitary([0.5])
+        assert u.shape == (8, 8)
+        assert np.allclose(u[:6, :6], np.eye(6))
+        assert np.allclose(u[6:, 6:], gates.rx().unitary([0.5]))
+
+    def test_conjugate_transpose_consistency(self):
+        g = gates.u3()
+        p = [0.4, -0.2, 1.7]
+        assert np.allclose(
+            g.dagger().unitary(p),
+            g.conjugate().transpose().unitary(p),
+        )
+
+    def test_compiled_entry_point(self):
+        compiled = gates.ry().compiled()
+        assert np.allclose(
+            compiled.unitary((0.7,)), gates.ry().unitary([0.7])
+        )
+
+    def test_repr(self):
+        assert "U3" in repr(gates.u3())

@@ -1,0 +1,72 @@
+"""Tests for the ExpressionCache (paper section IV-B)."""
+
+import threading
+
+from repro.circuit import gates
+from repro.expression import UnitaryExpression
+from repro.jit.cache import ExpressionCache, canonical_key
+
+
+class TestCanonicalKey:
+    def test_alpha_equivalence(self):
+        a = UnitaryExpression(
+            "G(x) { [[cos(x), ~sin(x)], [sin(x), cos(x)]] }"
+        )
+        b = UnitaryExpression(
+            "G(zz) { [[cos(zz), ~sin(zz)], [sin(zz), cos(zz)]] }"
+        )
+        assert canonical_key(a.matrix, True, True) == canonical_key(
+            b.matrix, True, True
+        )
+
+    def test_distinct_semantics_distinct_keys(self):
+        a = gates.rx().matrix
+        b = gates.ry().matrix
+        assert canonical_key(a, True, True) != canonical_key(
+            b, True, True
+        )
+
+    def test_flags_partition_cache(self):
+        m = gates.rx().matrix
+        assert canonical_key(m, True, True) != canonical_key(
+            m, False, True
+        )
+
+
+class TestCache:
+    def test_hit_miss_accounting(self):
+        cache = ExpressionCache()
+        cache.get(gates.rx().matrix)
+        cache.get(gates.rx().matrix)
+        cache.get(gates.ry().matrix)
+        assert cache.misses == 2
+        assert cache.hits == 1
+        assert len(cache) == 2
+
+    def test_alpha_equivalent_gates_share(self):
+        cache = ExpressionCache()
+        a = UnitaryExpression("A(u) { [[1, 0], [0, e^(i*u)]] }")
+        b = UnitaryExpression("B(v) { [[1, 0], [0, e^(i*v)]] }")
+        assert cache.get(a.matrix) is cache.get(b.matrix)
+
+    def test_clear(self):
+        cache = ExpressionCache()
+        cache.get(gates.rx().matrix)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == cache.misses == 0
+
+    def test_concurrent_access_single_artifact(self):
+        cache = ExpressionCache()
+        results = []
+
+        def worker():
+            results.append(cache.get(gates.u3().matrix))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == 1
+        assert all(r is results[0] for r in results)

@@ -1,0 +1,97 @@
+"""QGL gate definitions versus NumPy reference matrices.
+
+These are the paper's Listing 2 and Listing 4 definitions, validated
+numerically against hand-written references on random parameter draws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.qgl import parse_unitary
+
+U3_SRC = """U3(θ, ϕ, λ) {
+    [[cos(θ/2), ~e^(i*λ)*sin(θ/2)],
+     [e^(i*ϕ)*sin(θ/2), e^(i*(ϕ+λ))*cos(θ/2)]]
+}"""
+
+RX_SRC = """RX(theta) {
+    [[cos(theta/2), ~i*sin(theta/2)],
+     [~i*sin(theta/2), cos(theta/2)]]
+}"""
+
+RZZ_SRC = """RZZ(theta) {
+    [[e^(~i*theta/2), 0, 0, 0],
+     [0, e^(i*theta/2), 0, 0],
+     [0, 0, e^(i*theta/2), 0],
+     [0, 0, 0, e^(~i*theta/2)]]
+}"""
+
+RZ_SRC = """RZ(theta) {
+    [[e^(~i*theta/2), 0],
+     [0, e^(i*theta/2)]]
+}"""
+
+
+def u3_ref(t, p, l):
+    return np.array(
+        [
+            [np.cos(t / 2), -np.exp(1j * l) * np.sin(t / 2)],
+            [
+                np.exp(1j * p) * np.sin(t / 2),
+                np.exp(1j * (p + l)) * np.cos(t / 2),
+            ],
+        ]
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_u3_matches_reference(seed):
+    u3 = parse_unitary(U3_SRC)
+    params = np.random.default_rng(seed).uniform(-np.pi, np.pi, 3)
+    assert np.allclose(u3.evaluate(params), u3_ref(*params))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_listing4_gates(seed):
+    rng = np.random.default_rng(seed)
+    t = rng.uniform(-np.pi, np.pi)
+
+    rx = parse_unitary(RX_SRC)
+    c, s = np.cos(t / 2), -1j * np.sin(t / 2)
+    assert np.allclose(rx.evaluate([t]), [[c, s], [s, c]])
+
+    rz = parse_unitary(RZ_SRC)
+    assert np.allclose(
+        rz.evaluate([t]),
+        np.diag([np.exp(-0.5j * t), np.exp(0.5j * t)]),
+    )
+
+    rzz = parse_unitary(RZZ_SRC)
+    em, ep = np.exp(-0.5j * t), np.exp(0.5j * t)
+    assert np.allclose(rzz.evaluate([t]), np.diag([em, ep, ep, em]))
+
+
+@pytest.mark.parametrize(
+    "source",
+    [U3_SRC, RX_SRC, RZ_SRC, RZZ_SRC],
+    ids=["u3", "rx", "rz", "rzz"],
+)
+def test_definitions_are_unitary(source):
+    gate = parse_unitary(source)
+    params = np.random.default_rng(0).uniform(
+        -np.pi, np.pi, gate.num_params
+    )
+    assert gate.is_unitary(params)
+
+
+def test_gradients_match_finite_difference():
+    u3 = parse_unitary(U3_SRC)
+    params = [0.5, -0.8, 1.9]
+    grads = u3.gradient()
+    base = u3.evaluate(params)
+    eps = 1e-7
+    for k, g in enumerate(grads):
+        bumped = list(params)
+        bumped[k] += eps
+        fd = (u3.evaluate(bumped) - base) / eps
+        assert np.allclose(g.evaluate(params), fd, atol=1e-5)

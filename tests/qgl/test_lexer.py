@@ -1,0 +1,87 @@
+"""Unit tests for the QGL lexer."""
+
+import pytest
+
+from repro.qgl.errors import QGLSyntaxError
+from repro.qgl.lexer import TokenStream, tokenize
+
+
+def kinds(source: str) -> list[str]:
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestTokens:
+    def test_symbols(self):
+        assert kinds("( ) { } [ ] < > , ; + - * / ^ ~") == [
+            "LPAREN", "RPAREN", "LBRACE", "RBRACE", "LBRACKET",
+            "RBRACKET", "LANGLE", "RANGLE", "COMMA", "SEMI", "PLUS",
+            "MINUS", "STAR", "SLASH", "CARET", "TILDE",
+        ]
+
+    def test_unicode_operator_variants(self):
+        # The paper's typeset listings use ˆ and ˜.
+        assert kinds("ˆ ˜") == ["CARET", "TILDE"]
+
+    def test_numbers(self):
+        toks = tokenize("0 42 3.14 1e5 2.5e-3")
+        values = [t.text for t in toks[:-1]]
+        assert values == ["0", "42", "3.14", "1e5", "2.5e-3"]
+        assert all(t.kind == "NUMBER" for t in toks[:-1])
+
+    def test_leading_dot_number(self):
+        toks = tokenize(".5")
+        assert toks[0].kind == "NUMBER"
+        assert toks[0].text == ".5"
+
+    def test_identifiers_including_greek(self):
+        toks = tokenize("theta θ ϕ λ _tmp x1")
+        assert all(t.kind == "IDENT" for t in toks[:-1])
+
+    def test_number_then_ident(self):
+        toks = tokenize("2x")
+        assert [t.kind for t in toks[:-1]] == ["NUMBER", "IDENT"]
+
+    def test_comments_skipped(self):
+        assert kinds("1 # a comment\n2") == ["NUMBER", "NUMBER"]
+        assert kinds("1 // c++ style\n2") == ["NUMBER", "NUMBER"]
+
+    def test_positions(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_unexpected_character(self):
+        with pytest.raises(QGLSyntaxError) as err:
+            tokenize("a $ b")
+        assert "unexpected character" in str(err.value)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        s = TokenStream(tokenize("a b"))
+        assert s.peek().text == "a"
+        assert s.next().text == "a"
+        assert s.peek().text == "b"
+
+    def test_peek_offset(self):
+        s = TokenStream(tokenize("a b c"))
+        assert s.peek(2).text == "c"
+
+    def test_expect_failure(self):
+        s = TokenStream(tokenize("a"))
+        with pytest.raises(QGLSyntaxError):
+            s.expect("NUMBER")
+
+    def test_accept(self):
+        s = TokenStream(tokenize("a"))
+        assert s.accept("NUMBER") is None
+        assert s.accept("IDENT") is not None
+        assert s.at_end
+
+    def test_next_at_eof_is_sticky(self):
+        s = TokenStream(tokenize(""))
+        assert s.next().kind == "EOF"
+        assert s.next().kind == "EOF"

@@ -1,0 +1,214 @@
+"""Unit tests for QGL lowering semantics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.qgl import parse_unitary
+from repro.qgl.errors import QGLSemanticError
+from repro.qgl.lower import lower_expression
+from repro.qgl.parser import parse_expression_text
+from repro.symbolic import expr as E
+from repro.symbolic.complexexpr import ComplexExpr
+
+
+def scalar(text: str, params=()) -> ComplexExpr:
+    return lower_expression(parse_expression_text(text), params)
+
+
+class TestReservedConstants:
+    def test_i(self):
+        assert scalar("i").constant_value() == 1j
+
+    def test_i_squared(self):
+        assert scalar("i * i").constant_value() == pytest.approx(-1)
+
+    def test_pi(self):
+        assert scalar("pi").constant_value() == pytest.approx(math.pi)
+
+    def test_e_as_value(self):
+        assert scalar("e").constant_value() == pytest.approx(math.e)
+
+    def test_e_in_arithmetic(self):
+        assert scalar("2 * e").constant_value() == pytest.approx(2 * math.e)
+
+
+class TestExponentials:
+    def test_euler_identity(self):
+        assert scalar("e^(i*pi)").constant_value() == pytest.approx(-1)
+
+    def test_cis_lowering_is_sincos(self):
+        z = scalar("e^(i*x)", ("x",))
+        assert z.re is E.cos(E.var("x"))
+        assert z.im is E.sin(E.var("x"))
+
+    def test_negated_phase(self):
+        z = scalar("e^(~i*x/2)", ("x",))
+        v = z.evaluate({"x": 0.8})
+        assert v == pytest.approx(np.exp(-0.4j))
+
+    def test_general_complex_exponent(self):
+        z = scalar("e^(x + i*y)", ("x", "y"))
+        assert z.evaluate({"x": 0.3, "y": 0.5}) == pytest.approx(
+            np.exp(0.3 + 0.5j)
+        )
+
+    def test_exp_function(self):
+        z = scalar("exp(i*x)", ("x",))
+        assert z.evaluate({"x": 0.9}) == pytest.approx(np.exp(0.9j))
+
+
+class TestFunctions:
+    def test_trig(self):
+        assert scalar("sin(1)").constant_value() == pytest.approx(
+            math.sin(1)
+        )
+        assert scalar("cos(1)").constant_value() == pytest.approx(
+            math.cos(1)
+        )
+
+    def test_tan_canonicalizes_to_sin_cos(self):
+        z = scalar("tan(x)", ("x",))
+        assert z.re.op == "/"
+        assert z.re.children[0].op == "sin"
+        assert z.re.children[1].op == "cos"
+
+    def test_sqrt_and_ln(self):
+        assert scalar("sqrt(2)").constant_value() == pytest.approx(
+            math.sqrt(2)
+        )
+        assert scalar("ln(e)").constant_value() == pytest.approx(1.0)
+
+    def test_complex_trig_arg_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            scalar("sin(i)")
+
+    def test_unknown_variable(self):
+        with pytest.raises(QGLSemanticError):
+            scalar("mystery")
+
+    def test_cis(self):
+        z = scalar("cis(x)", ("x",))
+        assert z.evaluate({"x": 1.1}) == pytest.approx(np.exp(1.1j))
+
+
+class TestPowers:
+    def test_integer_matrix_power(self):
+        m = lower_expression(
+            parse_expression_text("[[0, 1], [1, 0]] ^ 2")
+        )
+        assert np.allclose(m.evaluate(()), np.eye(2))
+
+    def test_negative_matrix_power_is_inverse(self):
+        m = lower_expression(
+            parse_expression_text("[[0, ~i], [i, 0]] ^ -1")
+        )
+        assert np.allclose(
+            m.evaluate(()), np.array([[0, -1j], [1j, 0]])
+        )
+
+    def test_matrix_exponent_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            lower_expression(
+                parse_expression_text("2 ^ [[1, 0], [0, 1]]")
+            )
+
+    def test_fractional_matrix_power_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            lower_expression(
+                parse_expression_text("[[1, 0], [0, 1]] ^ 0.5")
+            )
+
+    def test_real_power(self):
+        z = scalar("2 ^ 0.5")
+        assert z.constant_value() == pytest.approx(math.sqrt(2))
+
+    def test_complex_base_integer_exponent(self):
+        assert scalar("(i)^3").constant_value() == pytest.approx(-1j)
+
+
+class TestMatrixSemantics:
+    def test_scalar_times_matrix(self):
+        m = lower_expression(
+            parse_expression_text("(1/sqrt(2)) * [[1, 1], [1, ~1]]")
+        )
+        assert np.allclose(
+            m.evaluate(()),
+            np.array([[1, 1], [1, -1]]) / math.sqrt(2),
+        )
+
+    def test_matrix_product(self):
+        m = lower_expression(
+            parse_expression_text("[[0, 1], [1, 0]] * [[0, 1], [1, 0]]")
+        )
+        assert np.allclose(m.evaluate(()), np.eye(2))
+
+    def test_matrix_sum(self):
+        m = lower_expression(
+            parse_expression_text("[[1, 0], [0, 1]] + [[1, 0], [0, 1]]")
+        )
+        assert np.allclose(m.evaluate(()), 2 * np.eye(2))
+
+    def test_matrix_scalar_add_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            lower_expression(
+                parse_expression_text("[[1, 0], [0, 1]] + 2")
+            )
+
+    def test_division_by_matrix_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            lower_expression(
+                parse_expression_text("1 / [[1, 0], [0, 1]]")
+            )
+
+    def test_nested_matrices_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            lower_expression(
+                parse_expression_text("[[[[1]], 0], [0, 1]]")
+            )
+
+
+class TestDefinitionValidation:
+    def test_scalar_body_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            parse_unitary("G() { 42 }")
+
+    def test_non_square_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            parse_unitary("G() { [[1, 0, 0], [0, 1, 0]] }")
+
+    def test_radix_mismatch_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            parse_unitary("G<3>() { [[1, 0], [0, 1]] }")
+
+    def test_power_of_two_rule(self):
+        with pytest.raises(QGLSemanticError) as err:
+            parse_unitary(
+                "G() { [[1, 0, 0], [0, 1, 0], [0, 0, 1]] }"
+            )
+        assert "power of two" in str(err.value)
+
+    def test_qutrit_with_radices_ok(self):
+        g = parse_unitary(
+            "G<3>() { [[1, 0, 0], [0, 1, 0], [0, 0, 1]] }"
+        )
+        assert g.radices == (3,)
+
+    def test_mixed_radices(self):
+        g = parse_unitary(
+            "G<2, 3>() { ["
+            "[1,0,0,0,0,0],[0,1,0,0,0,0],[0,0,1,0,0,0],"
+            "[0,0,0,1,0,0],[0,0,0,0,1,0],[0,0,0,0,0,1]] }"
+        )
+        assert g.radices == (2, 3)
+
+    def test_param_order_is_declaration_order(self):
+        g = parse_unitary(
+            "G(z, a) { [[cos(z), ~sin(a)], [sin(a), cos(z)]] }"
+        )
+        assert g.params == ("z", "a")
+
+    def test_reserved_param_rejected(self):
+        with pytest.raises(QGLSemanticError):
+            parse_unitary("G(i) { [[1, 0], [0, 1]] }")

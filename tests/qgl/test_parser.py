@@ -1,0 +1,130 @@
+"""Unit tests for the QGL recursive-descent parser (Figure 2 grammar)."""
+
+import pytest
+
+from repro.qgl import ast as A
+from repro.qgl.errors import QGLSyntaxError
+from repro.qgl.parser import parse_definition, parse_expression_text
+
+
+class TestDefinitions:
+    def test_simple_definition(self):
+        d = parse_definition("G() { [[1, 0], [0, 1]] }")
+        assert d.name == "G"
+        assert d.params == ()
+        assert d.radices is None
+        assert isinstance(d.body, A.MatrixLiteral)
+
+    def test_params(self):
+        d = parse_definition("G(a, b, c) { [[1, 0], [0, 1]] }")
+        assert d.params == ("a", "b", "c")
+
+    def test_radices(self):
+        d = parse_definition("G<2, 3>() { [[1]] }")
+        assert d.radices == (2, 3)
+
+    def test_optional_semicolon(self):
+        parse_definition("G() { [[1, 0], [0, 1]] };")
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(QGLSyntaxError):
+            parse_definition("G(a, a) { [[1]] }")
+
+    def test_non_integer_radix_rejected(self):
+        with pytest.raises(QGLSyntaxError):
+            parse_definition("G<2.5>() { [[1]] }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QGLSyntaxError):
+            parse_definition("G() { [[1]] } garbage")
+
+    def test_greek_parameter_names(self):
+        d = parse_definition("U(θ, ϕ, λ) { [[1, 0], [0, 1]] }")
+        assert d.params == ("θ", "ϕ", "λ")
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expression_text("a + b * c")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_power_binds_tightest(self):
+        e = parse_expression_text("a * b ^ c")
+        assert e.op == "*"
+        assert isinstance(e.right, A.Binary) and e.right.op == "^"
+
+    def test_power_right_associative(self):
+        e = parse_expression_text("a ^ b ^ c")
+        assert e.op == "^"
+        assert isinstance(e.right, A.Binary) and e.right.op == "^"
+
+    def test_left_associative_subtraction(self):
+        e = parse_expression_text("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.left, A.Binary) and e.left.op == "-"
+
+    def test_tilde_negates_whole_term(self):
+        e = parse_expression_text("~a * b")
+        assert isinstance(e, A.Unary)
+        assert isinstance(e.operand, A.Binary) and e.operand.op == "*"
+
+    def test_double_tilde_cancels(self):
+        e = parse_expression_text("~~a")
+        assert isinstance(e, A.Variable)
+
+    def test_parentheses_override(self):
+        e = parse_expression_text("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.left, A.Binary) and e.left.op == "+"
+
+
+class TestPrimary:
+    def test_number(self):
+        e = parse_expression_text("2.5")
+        assert isinstance(e, A.Number) and e.value == 2.5
+
+    def test_function_call(self):
+        e = parse_expression_text("cos(x / 2)")
+        assert isinstance(e, A.Call)
+        assert e.func == "cos"
+        assert len(e.args) == 1
+
+    def test_non_builtin_paren_is_not_call(self):
+        # "f (x)" where f is not a builtin parses as f * ... no —
+        # it's a variable followed by a parse error at the paren.
+        with pytest.raises(QGLSyntaxError):
+            parse_expression_text("f(x)")
+
+    def test_ascii_minus_literal(self):
+        e = parse_expression_text("-1")
+        assert isinstance(e, A.Unary)
+
+    def test_unexpected_token(self):
+        with pytest.raises(QGLSyntaxError):
+            parse_expression_text("* 2")
+
+
+class TestMatrix:
+    def test_rows(self):
+        e = parse_expression_text("[[a, b], [c, d]]")
+        assert isinstance(e, A.MatrixLiteral)
+        assert len(e.rows) == 2
+        assert len(e.rows[0]) == 2
+
+    def test_trailing_comma(self):
+        e = parse_expression_text("[[a, b], [c, d],]")
+        assert len(e.rows) == 2
+
+    def test_ragged_rejected(self):
+        with pytest.raises(QGLSyntaxError):
+            parse_expression_text("[[a, b], [c]]")
+
+    def test_matrix_in_expression(self):
+        e = parse_expression_text("(1/2) * [[1, 1], [1, ~1]]")
+        assert isinstance(e, A.Binary) and e.op == "*"
+
+    def test_error_reports_position(self):
+        with pytest.raises(QGLSyntaxError) as err:
+            parse_definition("G() {\n  [[a, b], [c]]\n}")
+        assert err.value.line == 2

@@ -1,0 +1,123 @@
+"""Unit tests for complex symbolic expressions."""
+
+import cmath
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import expr as E
+from repro.symbolic.complexexpr import CI, CONE, CZERO, ComplexExpr
+
+
+def c(z: complex) -> ComplexExpr:
+    return ComplexExpr.from_complex(z)
+
+
+class TestConstruction:
+    def test_from_complex(self):
+        z = c(1 + 2j)
+        assert z.constant_value() == 1 + 2j
+
+    def test_constants(self):
+        assert CZERO.is_zero
+        assert CONE.is_one
+        assert CI.constant_value() == 1j
+
+    def test_is_real(self):
+        assert c(3.0).is_real
+        assert not CI.is_real
+
+    def test_cis(self):
+        z = ComplexExpr.cis(E.var("t"))
+        assert z.evaluate({"t": 0.3}) == pytest.approx(
+            cmath.exp(0.3j), abs=1e-12
+        )
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            CONE.re = E.ZERO
+
+
+class TestArithmetic:
+    @given(
+        st.complex_numbers(max_magnitude=5, allow_nan=False),
+        st.complex_numbers(max_magnitude=5, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_field_operations_match_python(self, a, b):
+        za, zb = c(a), c(b)
+        assert (za + zb).constant_value() == pytest.approx(a + b)
+        assert (za - zb).constant_value() == pytest.approx(a - b)
+        assert (za * zb).constant_value() == pytest.approx(a * b)
+        if abs(b) > 1e-3:
+            assert (za / zb).constant_value() == pytest.approx(
+                a / b, rel=1e-9
+            )
+
+    def test_conjugate(self):
+        assert c(1 + 2j).conjugate().constant_value() == 1 - 2j
+
+    def test_negation(self):
+        assert (-c(1 + 2j)).constant_value() == -1 - 2j
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            CONE / CZERO
+
+    def test_integer_powers(self):
+        assert (CI ** 2).constant_value() == pytest.approx(-1)
+        assert (CI ** 0).is_one
+        assert (c(2j) ** -1).constant_value() == pytest.approx(-0.5j)
+
+    def test_non_integer_power_rejected(self):
+        with pytest.raises(TypeError):
+            CI ** 0.5
+
+    def test_scale(self):
+        assert c(1 + 1j).scale(2.0).constant_value() == 2 + 2j
+
+
+class TestExp:
+    def test_exp_real(self):
+        z = ComplexExpr(E.var("x"), E.ZERO).exp()
+        assert z.evaluate({"x": 0.5}) == pytest.approx(math.exp(0.5))
+
+    def test_exp_imag(self):
+        z = ComplexExpr(E.ZERO, E.var("x")).exp()
+        assert z.evaluate({"x": 0.5}) == pytest.approx(cmath.exp(0.5j))
+
+    def test_exp_general(self):
+        z = ComplexExpr(E.var("x"), E.var("y")).exp()
+        assert z.evaluate({"x": 0.3, "y": -0.7}) == pytest.approx(
+            cmath.exp(0.3 - 0.7j)
+        )
+
+    def test_exp_lowering_uses_sincos(self):
+        # e^(i x) must canonicalize to cos/sin trees, never complex exp.
+        z = ComplexExpr(E.ZERO, E.var("x")).exp()
+        assert z.re is E.cos(E.var("x"))
+        assert z.im is E.sin(E.var("x"))
+
+
+class TestSymbolic:
+    def test_free_variables(self):
+        z = ComplexExpr(E.var("b"), E.sin(E.var("a")))
+        assert z.free_variables() == ("a", "b")
+
+    def test_substitute(self):
+        z = ComplexExpr(E.var("x"), E.ZERO)
+        out = z.substitute({"x": E.PI})
+        assert out.constant_value() == pytest.approx(math.pi)
+
+    def test_equality_with_numbers(self):
+        assert c(2 + 0j) == 2.0
+        assert c(1j) == 1j
+        assert hash(c(3j)) == hash(c(3j))
+
+    def test_mixed_mul_with_real_expr(self):
+        x = E.var("x")
+        z = ComplexExpr(x, E.ZERO) * CI
+        assert z.re.is_zero
+        assert z.im is x

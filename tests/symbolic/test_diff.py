@@ -1,0 +1,133 @@
+"""Unit and property tests for the symbolic differentiation engine."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import expr as E
+from repro.symbolic.diff import differentiate, differentiate_complex, gradient
+from repro.symbolic.complexexpr import ComplexExpr
+
+X = E.var("x")
+Y = E.var("y")
+
+
+def fd(expr, name, env, eps=1e-7):
+    hi = dict(env)
+    hi[name] = env[name] + eps
+    lo = dict(env)
+    lo[name] = env[name] - eps
+    return (E.evaluate(expr, hi) - E.evaluate(expr, lo)) / (2 * eps)
+
+
+class TestRules:
+    def test_constant(self):
+        assert differentiate(E.const(5), "x").is_zero
+        assert differentiate(E.PI, "x").is_zero
+
+    def test_variable(self):
+        assert differentiate(X, "x").is_one
+        assert differentiate(X, "y").is_zero
+
+    def test_sum_rule(self):
+        assert differentiate(X + Y, "x").is_one
+
+    def test_product_rule(self):
+        d = differentiate(X * X, "x")
+        assert math.isclose(E.evaluate(d, {"x": 3.0}), 6.0)
+
+    def test_quotient_rule(self):
+        d = differentiate(X / Y, "y")
+        assert math.isclose(
+            E.evaluate(d, {"x": 2.0, "y": 3.0}), -2.0 / 9.0
+        )
+
+    def test_chain_rule_sin(self):
+        d = differentiate(E.sin(2 * X), "x")
+        assert math.isclose(
+            E.evaluate(d, {"x": 0.4}), 2 * math.cos(0.8)
+        )
+
+    def test_cos(self):
+        d = differentiate(E.cos(X), "x")
+        assert math.isclose(E.evaluate(d, {"x": 0.4}), -math.sin(0.4))
+
+    def test_exp(self):
+        d = differentiate(E.exp(3 * X), "x")
+        assert math.isclose(
+            E.evaluate(d, {"x": 0.2}), 3 * math.exp(0.6)
+        )
+
+    def test_ln(self):
+        d = differentiate(E.ln(X), "x")
+        assert math.isclose(E.evaluate(d, {"x": 2.0}), 0.5)
+
+    def test_sqrt(self):
+        d = differentiate(E.sqrt(X), "x")
+        assert math.isclose(
+            E.evaluate(d, {"x": 4.0}), 0.25
+        )
+
+    def test_power_constant_exponent(self):
+        d = differentiate(E.power(X, E.const(3)), "x")
+        assert math.isclose(E.evaluate(d, {"x": 2.0}), 12.0)
+
+    def test_power_variable_exponent(self):
+        d = differentiate(E.power(E.const(2), X), "x")
+        assert math.isclose(
+            E.evaluate(d, {"x": 1.5}), 2 ** 1.5 * math.log(2)
+        )
+
+    def test_gradient_order(self):
+        g = gradient(X * Y, ["x", "y"])
+        assert E.evaluate(g[0], {"x": 1, "y": 7}) == 7
+        assert E.evaluate(g[1], {"x": 5, "y": 1}) == 5
+
+
+class TestComplexDiff:
+    def test_cis_derivative(self):
+        z = ComplexExpr.cis(X)
+        dz = differentiate_complex(z, "x")
+        # d/dx e^(ix) = i e^(ix)
+        v = dz.evaluate({"x": 0.7})
+        expected = 1j * complex(math.cos(0.7), math.sin(0.7))
+        assert v == pytest.approx(expected)
+
+
+def smooth_exprs():
+    leaves = st.one_of(
+        st.floats(-2, 2).map(lambda v: E.const(round(v, 3))),
+        st.just(X),
+        st.just(Y),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: p[0] + p[1]),
+            st.tuples(children, children).map(lambda p: p[0] * p[1]),
+            st.tuples(children, children).map(lambda p: p[0] - p[1]),
+            children.map(E.sin),
+            children.map(E.cos),
+            children.map(lambda e: -e),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=10)
+
+
+class TestFiniteDifferences:
+    @given(
+        smooth_exprs(),
+        st.floats(-1.5, 1.5),
+        st.floats(-1.5, 1.5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_derivative_matches_finite_difference(self, expr, xv, yv):
+        env = {"x": xv, "y": yv}
+        d = differentiate(expr, "x")
+        analytic = E.evaluate(d, env)
+        numeric = fd(expr, "x", env)
+        assert math.isclose(
+            analytic, numeric, rel_tol=1e-4, abs_tol=1e-4
+        )

@@ -1,0 +1,215 @@
+"""Unit tests for the real-valued expression trees."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import expr as E
+
+
+class TestInterning:
+    def test_identical_trees_share_identity(self):
+        a = E.sin(E.var("x")) + E.const(2.0)
+        b = E.sin(E.var("x")) + E.const(2.0)
+        assert a is b
+
+    def test_different_trees_differ(self):
+        assert E.sin(E.var("x")) is not E.cos(E.var("x"))
+
+    def test_hash_consistency(self):
+        assert hash(E.var("x") * 2) == hash(E.var("x") * 2)
+
+    def test_immutability(self):
+        node = E.var("x")
+        with pytest.raises(AttributeError):
+            node.op = "const"
+
+
+class TestSmartConstructors:
+    def test_add_zero_folds(self):
+        x = E.var("x")
+        assert x + 0 is x
+        assert 0 + x is x
+
+    def test_mul_identity_and_zero(self):
+        x = E.var("x")
+        assert x * 1 is x
+        assert (x * 0).is_zero
+        assert (0 * x).is_zero
+
+    def test_constant_folding(self):
+        assert (E.const(2) + E.const(3)).value == 5.0
+        assert (E.const(2) * E.const(3)).value == 6.0
+        assert (E.const(6) / E.const(3)).value == 2.0
+        assert (E.const(2) ** E.const(3)).value == 8.0
+
+    def test_double_negation(self):
+        x = E.var("x")
+        assert -(-x) is x
+
+    def test_sub_self_is_zero(self):
+        x = E.var("x")
+        assert (x - x).is_zero
+
+    def test_div_self_is_one(self):
+        x = E.var("x")
+        assert (x / x).is_one
+
+    def test_neg_one_times_is_negation(self):
+        x = E.var("x")
+        assert (E.const(-1) * x).op == "~"
+
+    def test_sin_of_negation(self):
+        x = E.var("x")
+        assert E.sin(-x) == -(E.sin(x))
+
+    def test_cos_of_negation(self):
+        x = E.var("x")
+        assert E.cos(-x) is E.cos(x)
+
+    def test_trig_constant_folding(self):
+        assert E.sin(E.ZERO).is_zero
+        assert E.cos(E.ZERO).is_one
+        assert E.exp(E.ZERO).is_one
+        assert E.ln(E.ONE).is_zero
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            E.var("x") / E.ZERO
+
+    def test_ln_domain(self):
+        with pytest.raises(ValueError):
+            E.ln(E.const(-1.0))
+        with pytest.raises(ValueError):
+            E.sqrt(E.const(-1.0))
+
+    def test_build_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            E.build("frobnicate", [E.var("x")])
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(ValueError):
+            E.Expr("+", (E.var("x"),))
+
+
+class TestEvaluation:
+    def test_u3_entry(self):
+        t = E.var("t")
+        e = E.cos(t / 2)
+        assert math.isclose(E.evaluate(e, {"t": 1.0}), math.cos(0.5))
+
+    def test_pi_value(self):
+        assert E.evaluate(E.PI, {}) == math.pi
+
+    def test_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            E.evaluate(E.var("x"), {})
+
+    def test_all_operators(self):
+        x, y = E.var("x"), E.var("y")
+        env = {"x": 0.7, "y": 1.3}
+        cases = [
+            (x + y, 2.0),
+            (x - y, -0.6),
+            (-x, -0.7),
+            (x * y, 0.91),
+            (x / y, 0.7 / 1.3),
+            (E.power(x, y), 0.7 ** 1.3),
+            (E.sin(x), math.sin(0.7)),
+            (E.cos(x), math.cos(0.7)),
+            (E.exp(x), math.exp(0.7)),
+            (E.ln(y), math.log(1.3)),
+            (E.sqrt(y), math.sqrt(1.3)),
+        ]
+        for expr, expected in cases:
+            assert math.isclose(E.evaluate(expr, env), expected)
+
+
+class TestStructure:
+    def test_free_variables_sorted(self):
+        e = E.var("b") + E.sin(E.var("a"))
+        assert E.free_variables(e) == ("a", "b")
+
+    def test_node_count_shares_dag(self):
+        x = E.var("x")
+        s = E.sin(x)
+        e = s * s  # shared subtree counted once
+        assert E.node_count(e) == 3  # x, sin(x), *
+
+    def test_postorder_children_first(self):
+        e = E.sin(E.var("x")) + E.const(1)
+        order = [n.op for n in E.postorder(e)]
+        assert order.index("var") < order.index("sin")
+        assert order.index("sin") < order.index("+")
+
+    def test_substitute(self):
+        e = E.sin(E.var("x")) + E.var("y")
+        out = E.substitute(e, {"x": E.ZERO})
+        assert out == E.var("y")  # sin(0) folds to 0, 0 + y folds to y
+
+    def test_rename(self):
+        e = E.sin(E.var("x"))
+        assert E.rename_variables(e, {"x": "theta"}) is E.sin(E.var("theta"))
+
+
+class TestSexpr:
+    def test_roundtrip(self):
+        e = E.sin(E.var("x") / 2) * E.exp(E.var("y")) - E.PI
+        assert E.from_sexpr(E.to_sexpr(e)) is e
+
+    def test_format(self):
+        assert E.to_sexpr(E.sin(E.var("x"))) == "(sin x)"
+        assert E.to_sexpr(E.const(2.0)) == "2"
+        assert E.to_sexpr(E.PI) == "pi"
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            E.from_sexpr("(sin x) extra")
+        with pytest.raises(ValueError):
+            E.from_sexpr(")")
+
+    def test_infix_repr(self):
+        e = E.sin(E.var("x")) + E.const(1)
+        assert "sin(x)" in str(e)
+
+
+# Hypothesis strategy: total (everywhere-defined) random expressions.
+def total_exprs(variables=("x", "y")):
+    leaves = st.one_of(
+        st.floats(-4, 4).map(lambda v: E.const(round(v, 3))),
+        st.sampled_from([E.var(v) for v in variables]),
+        st.just(E.PI),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda p: p[0] + p[1]),
+            st.tuples(children, children).map(lambda p: p[0] - p[1]),
+            st.tuples(children, children).map(lambda p: p[0] * p[1]),
+            children.map(lambda c: -c),
+            children.map(E.sin),
+            children.map(E.cos),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+class TestProperties:
+    @given(total_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_sexpr_roundtrip_property(self, expr):
+        assert E.from_sexpr(E.to_sexpr(expr)) is expr
+
+    @given(total_exprs(), st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_substitution_commutes_with_evaluation(self, expr, xv, yv):
+        env = {"x": xv, "y": yv}
+        direct = E.evaluate(expr, env)
+        subbed = E.substitute(
+            expr, {"x": E.const(xv), "y": E.const(yv)}
+        )
+        assert math.isclose(
+            E.evaluate(subbed, {}), direct, rel_tol=1e-9, abs_tol=1e-9
+        )

@@ -1,0 +1,103 @@
+"""Tests for the compiler's ablation flags (fusion, hoisting, paths)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuditCircuit, build_qsearch_ansatz, gates
+from repro.tensornet.path import (
+    _sequential_path,
+    find_contraction_path,
+    optimal_path,
+)
+from repro.tnvm import TNVM, Differentiation
+
+
+def reversed_cx_circuit() -> QuditCircuit:
+    circ = QuditCircuit.pure([2, 2])
+    u3 = circ.cache_operation(gates.u3())
+    cx = circ.cache_operation(gates.cx())
+    circ.append_ref(u3, 0)
+    circ.append_ref_constant(cx, (1, 0))
+    circ.append_ref(u3, 1)
+    return circ
+
+
+def count_transposes(program) -> int:
+    return sum(
+        1
+        for instr in program.const_section + program.dynamic_section
+        if instr.opcode == "TRANSPOSE"
+    )
+
+
+class TestFusionFlag:
+    def test_unfused_has_more_transposes(self):
+        circ = reversed_cx_circuit()
+        assert count_transposes(circ.compile(fusion=False)) > \
+            count_transposes(circ.compile(fusion=True))
+
+    def test_semantics_identical(self):
+        circ = reversed_cx_circuit()
+        p = tuple(np.random.default_rng(0).uniform(-1, 1, circ.num_params))
+        a = TNVM(circ.compile(fusion=True), diff=Differentiation.NONE)
+        b = TNVM(circ.compile(fusion=False), diff=Differentiation.NONE)
+        assert np.allclose(a.evaluate(p), b.evaluate(p), atol=1e-12)
+
+    def test_gradients_identical(self):
+        circ = reversed_cx_circuit()
+        p = tuple(np.random.default_rng(1).uniform(-1, 1, circ.num_params))
+        _, ga = TNVM(circ.compile(fusion=True)).evaluate_with_grad(p)
+        ga = ga.copy()
+        _, gb = TNVM(circ.compile(fusion=False)).evaluate_with_grad(p)
+        assert np.allclose(ga, gb, atol=1e-12)
+
+
+class TestHoistFlag:
+    def test_no_constant_section_when_disabled(self):
+        circ = reversed_cx_circuit()
+        prog = circ.compile(hoist_constants=False)
+        assert prog.const_section == []
+        assert all(not b.constant for b in prog.buffers)
+        prog.validate()
+
+    def test_semantics_identical(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        p = tuple(np.random.default_rng(2).uniform(-1, 1, circ.num_params))
+        a = TNVM(circ.compile(hoist_constants=True),
+                 diff=Differentiation.NONE)
+        b = TNVM(circ.compile(hoist_constants=False),
+                 diff=Differentiation.NONE)
+        assert np.allclose(a.evaluate(p), b.evaluate(p), atol=1e-12)
+
+
+class TestPathStrategies:
+    def test_sequential_path_shape(self):
+        assert _sequential_path(1) == []
+        assert _sequential_path(2) == [(0, 1)]
+        assert _sequential_path(4) == [(0, 1), (0, 2), (0, 1)]
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown path strategy"):
+            find_contraction_path(
+                [frozenset({1}), frozenset({1})], {1: 2}, set(),
+                strategy="quantum",
+            )
+
+    def test_optimal_guard_on_large_networks(self):
+        tensors = [frozenset({k, k + 1}) for k in range(20)]
+        dims = {k: 2 for k in range(21)}
+        with pytest.raises(ValueError, match="exponential"):
+            optimal_path(tensors, dims, frozenset({0, 20}))
+
+    @pytest.mark.parametrize(
+        "strategy", ["auto", "optimal", "greedy", "sequential"]
+    )
+    def test_all_strategies_produce_correct_unitary(self, strategy):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        p = tuple(np.random.default_rng(3).uniform(-1, 1, circ.num_params))
+        vm = TNVM(
+            circ.compile(path_strategy=strategy),
+            diff=Differentiation.NONE,
+        )
+        reference = circ.get_unitary(p)
+        assert np.allclose(vm.evaluate(p), reference, atol=1e-10)

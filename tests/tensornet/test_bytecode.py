@@ -1,0 +1,122 @@
+"""Tests for the Table II bytecode: rendering, validation, and direct
+TNVM execution of hand-written programs (including HADAMARD)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import gates
+from repro.tensornet.bytecode import BufferSpec, Instruction, Program
+from repro.tnvm import TNVM, Differentiation
+
+
+class TestInstructionRender:
+    def test_write(self):
+        i = Instruction(opcode="WRITE", expr_id=2, slots=(0, 1), out_buf=3)
+        assert i.render() == "WRITE     e2[0, 1] -> b3"
+
+    def test_matmul(self):
+        i = Instruction(
+            opcode="MATMUL", a_buf=5, b_buf=7, out_buf=13,
+            a_shape=(2, 2), b_shape=(2, 2),
+        )
+        assert "MATMUL" in i.render()
+        assert "b5" in i.render() and "b13" in i.render()
+
+    def test_transpose(self):
+        i = Instruction(
+            opcode="TRANSPOSE", a_buf=1, out_buf=2,
+            shape=(2, 2, 2, 2), perm=(1, 0, 3, 2),
+        )
+        assert "perm=[1, 0, 3, 2]" in i.render()
+
+
+def hadamard_program() -> Program:
+    """out = RZ(theta) .* RZ(phi), element-wise (diagonal gates)."""
+    rz = gates.rz().matrix
+    prog = Program(num_params=2, radices=(2,))
+    prog.expressions = [rz]
+    prog.buffers = [
+        BufferSpec(0, 4, (0,), False),
+        BufferSpec(1, 4, (1,), False),
+        BufferSpec(2, 4, (0, 1), False),
+    ]
+    prog.dynamic_section = [
+        Instruction(
+            opcode="WRITE", expr_id=0, slots=(0,), out_buf=0, params=(0,)
+        ),
+        Instruction(
+            opcode="WRITE", expr_id=0, slots=(1,), out_buf=1, params=(1,)
+        ),
+        Instruction(
+            opcode="HADAMARD", a_buf=0, b_buf=1, out_buf=2,
+            a_shape=(2, 2), b_shape=(2, 2), params=(0, 1),
+        ),
+    ]
+    prog.output_buffer = 2
+    prog.output_shape = (2, 2)
+    return prog
+
+
+class TestProgram:
+    def test_validate_accepts_good_program(self):
+        hadamard_program().validate()
+
+    def test_validate_rejects_read_before_write(self):
+        prog = hadamard_program()
+        prog.dynamic_section = prog.dynamic_section[1:]
+        with pytest.raises(ValueError, match="read before written"):
+            prog.validate()
+
+    def test_validate_rejects_bad_opcode(self):
+        prog = hadamard_program()
+        prog.dynamic_section.append(
+            Instruction(opcode="NOOP", out_buf=0)
+        )
+        with pytest.raises(ValueError, match="bad opcode"):
+            prog.validate()
+
+    def test_validate_rejects_bad_expr(self):
+        prog = hadamard_program()
+        prog.dynamic_section[0] = Instruction(
+            opcode="WRITE", expr_id=9, slots=(0,), out_buf=0, params=(0,)
+        )
+        with pytest.raises(ValueError, match="expr_id"):
+            prog.validate()
+
+    def test_validate_rejects_slot_arity(self):
+        prog = hadamard_program()
+        prog.dynamic_section[0] = Instruction(
+            opcode="WRITE", expr_id=0, slots=(0, 1), out_buf=0,
+            params=(0, 1),
+        )
+        with pytest.raises(ValueError, match="slot arity"):
+            prog.validate()
+
+    def test_disassemble_lists_sections(self):
+        text = hadamard_program().disassemble()
+        assert "; dynamic section" in text
+        assert "HADAMARD" in text
+
+    def test_memory_accounting(self):
+        assert hadamard_program().memory_elements == 12
+
+
+class TestHadamardExecution:
+    def test_value(self):
+        vm = TNVM(hadamard_program(), diff=Differentiation.NONE)
+        t, p = 0.8, -0.3
+        u = vm.evaluate((t, p))
+        rz = lambda a: np.diag(
+            [np.exp(-0.5j * a), np.exp(0.5j * a)]
+        )
+        assert np.allclose(u, rz(t) * rz(p))
+
+    def test_gradient(self):
+        vm = TNVM(hadamard_program(), diff=Differentiation.GRADIENT)
+        t, p = 0.8, -0.3
+        u, g = vm.evaluate_with_grad((t, p))
+        eps = 1e-7
+        vm2 = TNVM(hadamard_program(), diff=Differentiation.NONE)
+        for k, bump in enumerate([(t + eps, p), (t, p + eps)]):
+            fd = (vm2.evaluate(bump).copy() - u) / eps
+            assert np.allclose(g[k], fd, atol=1e-5)

@@ -1,0 +1,90 @@
+"""Unit tests for tensor-network lowering."""
+
+import pytest
+
+from repro.circuit import QuditCircuit, gates
+from repro.tensornet.network import ParamSlot, TensorNetwork
+
+
+def two_qubit_net() -> TensorNetwork:
+    circ = QuditCircuit.pure([2, 2])
+    u3 = circ.cache_operation(gates.u3())
+    cx = circ.cache_operation(gates.cx())
+    circ.append_ref(u3, 0)
+    circ.append_ref_constant(cx, (0, 1))
+    return circ.to_tensor_network()
+
+
+class TestLowering:
+    def test_tensor_count(self):
+        net = two_qubit_net()
+        # u3, cx, plus... wire 1 is touched by cx so no identity stitch
+        assert len(net.tensors) == 2
+
+    def test_index_wiring(self):
+        net = two_qubit_net()
+        u3, cx = net.tensors
+        # u3 output on wire 0 feeds cx input on wire 0.
+        assert u3.indices[0] == cx.indices[2]
+
+    def test_open_indices_distinct(self):
+        net = two_qubit_net()
+        opens = net.open_indices
+        assert len(set(opens)) == len(opens) == 4
+
+    def test_untouched_wire_gets_identity(self):
+        circ = QuditCircuit.pure([2, 2])
+        u3 = circ.cache_operation(gates.u3())
+        circ.append_ref(u3, 0)
+        net = circ.to_tensor_network()
+        assert len(net.tensors) == 2  # u3 + identity stitch on wire 1
+        assert net.tensors[1].expression.name == "I"
+
+    def test_empty_circuit_all_identities(self):
+        net = QuditCircuit.pure([2, 2, 2]).to_tensor_network()
+        assert len(net.tensors) == 3
+
+    def test_param_slots(self):
+        net = two_qubit_net()
+        u3 = net.tensors[0]
+        assert [s.kind for s in u3.slots] == ["param"] * 3
+        assert u3.param_indices == (0, 1, 2)
+        cx = net.tensors[1]
+        assert cx.param_indices == ()
+
+    def test_index_dims_qutrit(self):
+        circ = QuditCircuit.pure([3, 3])
+        csum = circ.cache_operation(gates.csum(3))
+        circ.append_ref_constant(csum, (0, 1))
+        net = circ.to_tensor_network()
+        assert all(d == 3 for d in net.index_dims.values())
+        assert net.dim == 9
+
+    def test_endpoints_at_most_two(self):
+        net = two_qubit_net()
+        for idx, ends in net.index_endpoints().items():
+            assert 1 <= len(ends) <= 2
+
+    def test_repeated_qudit_rejected(self):
+        with pytest.raises(ValueError):
+            TensorNetwork.from_operations(
+                (2, 2),
+                [(gates.cx().matrix, (0, 0), ())],
+                0,
+            )
+
+    def test_radix_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TensorNetwork.from_operations(
+                (2, 2),
+                [(gates.csum(3).matrix, (0, 1), ())],
+                0,
+            )
+
+
+class TestParamSlot:
+    def test_factories(self):
+        p = ParamSlot.param(3)
+        assert p.kind == "param" and p.index == 3
+        c = ParamSlot.const(1.5)
+        assert c.kind == "const" and c.value == 1.5

@@ -1,0 +1,162 @@
+"""Tests for the contraction-path solvers."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import QuditCircuit, build_qsearch_ansatz, gates
+from repro.tensornet.path import (
+    OPTIMAL_CUTOFF,
+    find_contraction_path,
+    greedy_path,
+    optimal_path,
+    path_cost,
+)
+
+
+def chain_network(n: int):
+    """A 1-D matrix chain: T0 -x0- T1 -x1- ... with an open leg on
+    each end, all bond dims 2 except one fat bond."""
+    dims = {}
+    tensors = []
+    for k in range(n):
+        left = k - 1 if k > 0 else "openL"
+        right = k if k < n - 1 else "openR"
+        tensors.append(frozenset({f"b{left}", f"b{right}"}))
+    for k in range(n - 1):
+        dims[f"b{k}"] = 2
+    dims["bopenL"] = dims["bopenR"] = 2
+    opens = frozenset({"bopenL", "bopenR"})
+    # normalize names used above
+    tensors = [
+        frozenset(
+            f"b{x}" if not str(x).startswith("b") else x for x in t
+        )
+        for t in tensors
+    ]
+    return tensors, dims, opens
+
+
+def circuit_network(circ):
+    net = circ.to_tensor_network()
+    return (
+        [frozenset(t.indices) for t in net.tensors],
+        net.index_dims,
+        frozenset(net.open_indices),
+    )
+
+
+def brute_force_best(tensors, dims, opens) -> float:
+    """Exhaustive enumeration of all contraction orders (tiny n)."""
+    best = float("inf")
+
+    def rec(current, acc):
+        nonlocal best
+        if acc >= best:
+            return
+        if len(current) == 1:
+            best = min(best, acc)
+            return
+        for i, j in itertools.combinations(range(len(current)), 2):
+            a, b = current[i], current[j]
+            cost = 1.0
+            for idx in a | b:
+                cost *= dims[idx]
+            shared = a & b
+            keep = (a | b) - (shared - opens)
+            rest = [
+                t for k, t in enumerate(current) if k not in (i, j)
+            ]
+            rec(rest + [keep], acc + cost)
+
+    rec(list(tensors), 0.0)
+    return best
+
+
+class TestOptimal:
+    @pytest.mark.parametrize(
+        "qudits,depth", [(2, 1), (3, 1)],
+        ids=["2q-d1", "3q-d1"],
+    )
+    def test_matches_brute_force_on_small_circuits(self, qudits, depth):
+        circ = build_qsearch_ansatz(qudits, depth, 2)
+        tensors, dims, opens = circuit_network(circ)
+        assert len(tensors) <= 8, "keep brute force tractable"
+        path = optimal_path(tensors, dims, opens)
+        assert path_cost(tensors, dims, opens, path) == pytest.approx(
+            brute_force_best(tensors, dims, opens)
+        )
+
+    def test_path_is_complete(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        tensors, dims, opens = circuit_network(circ)
+        path = optimal_path(tensors, dims, opens)
+        assert len(path) == len(tensors) - 1
+
+    def test_two_tensors(self):
+        tensors = [frozenset({"a", "b"}), frozenset({"b", "c"})]
+        dims = {"a": 2, "b": 2, "c": 2}
+        path = optimal_path(tensors, dims, frozenset({"a", "c"}))
+        assert path == [(0, 1)]
+
+
+class TestGreedy:
+    def test_valid_and_complete(self):
+        circ = build_qsearch_ansatz(3, 10, 2)
+        tensors, dims, opens = circuit_network(circ)
+        path = greedy_path(tensors, dims, opens)
+        assert len(path) == len(tensors) - 1
+        # must be executable: indices in range at each step
+        count = len(tensors)
+        for i, j in path:
+            assert 0 <= i < j < count
+            count -= 1
+
+    def test_handles_disconnected_networks(self):
+        # Two independent 2-tensor components.
+        tensors = [
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+            frozenset({"x", "y"}),
+            frozenset({"y", "z"}),
+        ]
+        dims = {k: 2 for k in "abcxyz"}
+        opens = frozenset({"a", "c", "x", "z"})
+        path = greedy_path(tensors, dims, opens)
+        assert len(path) == 3
+
+    def test_greedy_not_catastrophically_worse(self):
+        # Keep the optimal-DP comparator within its tractable range.
+        circ = build_qsearch_ansatz(3, 1, 2)
+        tensors, dims, opens = circuit_network(circ)
+        assert len(tensors) <= 7
+        g = path_cost(
+            tensors, dims, opens, greedy_path(tensors, dims, opens)
+        )
+        o = path_cost(
+            tensors, dims, opens, optimal_path(tensors, dims, opens)
+        )
+        assert g <= 20 * o
+
+
+class TestDispatch:
+    def test_small_uses_optimal(self):
+        circ = build_qsearch_ansatz(2, 1, 2)
+        tensors, dims, opens = circuit_network(circ)
+        assert len(tensors) <= OPTIMAL_CUTOFF
+        path = find_contraction_path(tensors, dims, opens)
+        assert path_cost(tensors, dims, opens, path) == pytest.approx(
+            path_cost(
+                tensors, dims, opens, optimal_path(tensors, dims, opens)
+            )
+        )
+
+    def test_single_tensor_empty_path(self):
+        assert find_contraction_path([frozenset({"a"})], {"a": 2}, {"a"}) == []
+
+    def test_large_uses_greedy_quickly(self):
+        circ = build_qsearch_ansatz(3, 30, 2)
+        tensors, dims, opens = circuit_network(circ)
+        assert len(tensors) > OPTIMAL_CUTOFF
+        path = find_contraction_path(tensors, dims, opens)
+        assert len(path) == len(tensors) - 1

@@ -1,0 +1,103 @@
+"""Tests for contraction-tree materialization and trace pre-application."""
+
+import numpy as np
+
+from repro.circuit import QuditCircuit, build_qsearch_ansatz, gates
+from repro.tensornet.compiler import plan_contraction
+from repro.tensornet.network import TensorNetwork, TNTensor
+from repro.tensornet.tree import _pretrace_if_needed, build_contraction_tree
+from repro.tensornet.path import find_contraction_path
+
+
+def make_tree(circ):
+    return plan_contraction(circ.to_tensor_network())
+
+
+class TestTree:
+    def test_leaf_count(self):
+        circ = build_qsearch_ansatz(3, 4, 2)
+        tree = make_tree(circ)
+        assert len(tree.leaves()) == len(circ)
+
+    def test_internal_count(self):
+        circ = build_qsearch_ansatz(3, 4, 2)
+        tree = make_tree(circ)
+        assert len(tree.internal()) == len(circ) - 1
+
+    def test_root_covers_open_indices(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        tree = make_tree(circ)
+        net = tree.network
+        assert set(tree.root.indices) == set(net.open_indices)
+
+    def test_contracted_disjoint_from_result(self):
+        circ = build_qsearch_ansatz(3, 6, 2)
+        tree = make_tree(circ)
+        for node in tree.internal():
+            assert not set(node.contracted) & set(node.indices)
+
+    def test_params_propagate_upward(self):
+        circ = QuditCircuit.pure([2, 2])
+        u3 = circ.cache_operation(gates.u3())
+        cx = circ.cache_operation(gates.cx())
+        circ.append_ref(u3, 0)
+        circ.append_ref_constant(cx, (0, 1))
+        tree = make_tree(circ)
+        assert tree.root.params == (0, 1, 2)
+
+    def test_constant_nodes_identified(self):
+        circ = QuditCircuit.pure([2, 2])
+        cx = circ.cache_operation(gates.cx())
+        circ.append_ref_constant(cx, (0, 1))
+        circ.append_ref_constant(cx, (0, 1))
+        tree = make_tree(circ)
+        assert len(tree.constant_nodes()) == len(tree.nodes)
+
+    def test_path_mismatch_detected(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        net = circ.to_tensor_network()
+        # A path that leaves two tensors standing is invalid.
+        tensors = [frozenset(t.indices) for t in net.tensors]
+        path = find_contraction_path(
+            tensors, net.index_dims, set(net.open_indices)
+        )[:-1]
+        if path:
+            import pytest
+
+            with pytest.raises(ValueError):
+                build_contraction_tree(net, path)
+
+
+class TestPretrace:
+    def test_traced_leaf_expression(self):
+        # Build a tensor whose output and input share an index (a
+        # closed loop on one wire): the leaf must be pre-traced.
+        m = gates.rx().matrix.kron(
+            gates.ry().matrix.rename_params({"theta": "s"})
+        )
+        tensor = TNTensor(
+            tensor_id=0,
+            expression=m,
+            slots=(),
+            indices=(10, 11, 10, 12),  # wire 0 looped
+            location=(0, 1),
+        )
+        traced = _pretrace_if_needed(tensor)
+        assert traced.indices == (11, 12)
+        # Trace over the RX factor of the kron: Tr(RX) * RY.
+        t, s = 0.7, -0.4
+        rx_tr = 2 * np.cos(t / 2)
+        ry = np.array(
+            [
+                [np.cos(s / 2), -np.sin(s / 2)],
+                [np.sin(s / 2), np.cos(s / 2)],
+            ]
+        )
+        assert np.allclose(
+            traced.expression.evaluate([t, s]), rx_tr * ry
+        )
+
+    def test_untraced_leaf_passthrough(self):
+        net = build_qsearch_ansatz(2, 1, 2).to_tensor_network()
+        for t in net.tensors:
+            assert _pretrace_if_needed(t) is t

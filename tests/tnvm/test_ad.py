@@ -1,0 +1,100 @@
+"""Forward-mode AD specialization tests, including the product rule for
+overlapping parameters (paper section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuditCircuit, gates
+from repro.tensornet.network import ParamSlot
+from repro.tnvm import TNVM, Differentiation
+
+
+def finite_difference(circ, params, eps=1e-7):
+    vm = TNVM(circ.compile(), diff=Differentiation.NONE)
+    base = vm.evaluate(tuple(params)).copy()
+    out = np.zeros((len(params),) + base.shape, dtype=complex)
+    for k in range(len(params)):
+        bumped = list(params)
+        bumped[k] += eps
+        out[k] = (vm.evaluate(tuple(bumped)) - base) / eps
+    return out
+
+
+class TestSharedParameters:
+    def test_same_param_in_two_gates_product_rule(self):
+        # RX(theta) on wire 0 and RX(theta) on wire 1: dU/dtheta must
+        # apply the product rule across the KRON/MATMUL path.
+        circ = QuditCircuit.pure([2, 2])
+        rx = circ.cache_operation(gates.rx())
+        (theta,) = circ.append_ref(rx, 0)
+        circ.append_ref_bound(rx, 1, [ParamSlot.param(theta)])
+        assert circ.num_params == 1
+
+        vm = TNVM(circ.compile())
+        params = [0.73]
+        _, g = vm.evaluate_with_grad(tuple(params))
+        fd = finite_difference(circ, params)
+        assert np.allclose(g, fd, atol=1e-5)
+
+    def test_same_param_twice_in_one_gate(self):
+        # U3(t, t, lambda): duplicated slot within a single WRITE.
+        circ = QuditCircuit.pure([2])
+        u3 = circ.cache_operation(gates.u3())
+        circ.append_ref(u3, 0)  # allocates params 0,1,2
+        circ2 = QuditCircuit.pure([2])
+        u3b = circ2.cache_operation(gates.u3())
+        (t,) = circ2.append_ref(gates_rx_ref(circ2), 0)
+        circ2.append_ref_bound(
+            u3b, 0, [ParamSlot.param(t), ParamSlot.param(t), ParamSlot.const(0.4)]
+        )
+        vm = TNVM(circ2.compile())
+        params = [0.9]
+        _, g = vm.evaluate_with_grad(tuple(params))
+        fd = finite_difference(circ2, params)
+        assert np.allclose(g, fd, atol=1e-5)
+
+    def test_shared_param_chain_matmul(self):
+        # Sequential RZ(t) RX(t) on one wire: MATMUL with overlapping
+        # parameter sets on both operands.
+        circ = QuditCircuit.pure([2])
+        rx = circ.cache_operation(gates.rx())
+        rz = circ.cache_operation(gates.rz())
+        (t,) = circ.append_ref(rx, 0)
+        circ.append_ref_bound(rz, 0, [ParamSlot.param(t)])
+        vm = TNVM(circ.compile())
+        params = [1.21]
+        _, g = vm.evaluate_with_grad(tuple(params))
+        fd = finite_difference(circ, params)
+        assert np.allclose(g, fd, atol=1e-5)
+
+
+def gates_rx_ref(circ):
+    return circ.cache_operation(gates.rx())
+
+
+class TestMixedConstants:
+    def test_partial_constant_binding(self):
+        # U3 with theta free, phi and lambda constant.
+        circ = QuditCircuit.pure([2])
+        u3 = circ.cache_operation(gates.u3())
+        rx = circ.cache_operation(gates.rx())
+        (t,) = circ.append_ref(rx, 0)
+        circ.append_ref_bound(
+            u3, 0,
+            [ParamSlot.param(t), ParamSlot.const(0.3), ParamSlot.const(-0.8)],
+        )
+        vm = TNVM(circ.compile())
+        params = [0.5]
+        u, g = vm.evaluate_with_grad(tuple(params))
+        ref = gates.u3().unitary([0.5, 0.3, -0.8]) @ gates.rx().unitary(
+            [0.5]
+        )
+        assert np.allclose(u, ref, atol=1e-10)
+        fd = finite_difference(circ, params)
+        assert np.allclose(g, fd, atol=1e-5)
+
+    def test_unknown_param_index_rejected(self):
+        circ = QuditCircuit.pure([2])
+        rx = circ.cache_operation(gates.rx())
+        with pytest.raises(ValueError):
+            circ.append_ref_bound(rx, 0, [ParamSlot.param(5)])

@@ -1,0 +1,51 @@
+"""Tests for the example-supporting state-vector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_qft_circuit, gates
+from repro.utils import Statevector
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        sv = Statevector([2, 2])
+        assert sv.amplitudes[0] == 1
+        assert sv.probabilities().sum() == pytest.approx(1.0)
+
+    def test_from_amplitudes_validates_norm(self):
+        with pytest.raises(ValueError):
+            Statevector.from_amplitudes(np.array([1.0, 1.0]), [2])
+
+    def test_apply_gate_x(self):
+        sv = Statevector([2]).apply_gate(gates.x().unitary(), (0,))
+        assert sv.amplitudes[1] == pytest.approx(1.0)
+
+    def test_apply_gate_on_wire(self):
+        sv = Statevector([2, 2]).apply_gate(gates.x().unitary(), (1,))
+        assert abs(sv.amplitudes[0b01]) == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        sv = Statevector([2, 2])
+        sv = sv.apply_gate(gates.h().unitary(), (0,))
+        sv = sv.apply_gate(gates.cx().unitary(), (0, 1))
+        probs = sv.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+
+    def test_qft_creates_uniform_superposition(self):
+        u = build_qft_circuit(3).get_unitary(())
+        sv = Statevector([2, 2, 2]).apply_unitary(u)
+        assert np.allclose(sv.probabilities(), 1 / 8)
+
+    def test_fidelity(self):
+        a = Statevector([2])
+        b = Statevector([2]).apply_gate(gates.x().unitary(), (0,))
+        assert a.fidelity(a) == pytest.approx(1.0)
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_qutrit_state(self):
+        sv = Statevector([3]).apply_gate(
+            gates.shift(3).unitary(), (0,)
+        )
+        assert abs(sv.amplitudes[1]) == pytest.approx(1.0)

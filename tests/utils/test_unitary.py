@@ -1,0 +1,81 @@
+"""Tests for unitary utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    closest_phase,
+    global_phase_distance,
+    hilbert_schmidt_infidelity,
+    is_unitary,
+    random_unitary,
+)
+
+
+class TestRandomUnitary:
+    @pytest.mark.parametrize("dim", [2, 3, 4, 8])
+    def test_is_unitary(self, dim):
+        assert is_unitary(random_unitary(dim, rng=0))
+
+    def test_seed_reproducible(self):
+        assert np.allclose(
+            random_unitary(4, rng=7), random_unitary(4, rng=7)
+        )
+
+    def test_seeds_differ(self):
+        assert not np.allclose(
+            random_unitary(4, rng=1), random_unitary(4, rng=2)
+        )
+
+
+class TestInfidelity:
+    def test_zero_for_self(self):
+        u = random_unitary(4, rng=0)
+        assert hilbert_schmidt_infidelity(u, u) == pytest.approx(0.0)
+
+    def test_phase_invariant(self):
+        u = random_unitary(4, rng=1)
+        assert hilbert_schmidt_infidelity(
+            u, np.exp(1.2j) * u
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded(self):
+        a = random_unitary(4, rng=2)
+        b = random_unitary(4, rng=3)
+        l = hilbert_schmidt_infidelity(a, b)
+        assert 0.0 <= l <= 1.0
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_symmetric(self, seed):
+        a = random_unitary(3, rng=seed)
+        b = random_unitary(3, rng=seed + 1000)
+        assert hilbert_schmidt_infidelity(a, b) == pytest.approx(
+            hilbert_schmidt_infidelity(b, a)
+        )
+
+
+class TestPhaseAlignment:
+    def test_closest_phase_recovers(self):
+        u = random_unitary(4, rng=5)
+        phase = np.exp(0.77j)
+        assert closest_phase(u, phase * u) == pytest.approx(phase)
+
+    def test_distance_zero_after_alignment(self):
+        u = random_unitary(4, rng=6)
+        assert global_phase_distance(u, np.exp(2.1j) * u) < 1e-12
+
+    def test_distance_positive_otherwise(self):
+        a = random_unitary(4, rng=7)
+        b = random_unitary(4, rng=8)
+        assert global_phase_distance(a, b) > 0.1
+
+
+class TestIsUnitary:
+    def test_rejects_nonunitary(self):
+        assert not is_unitary(np.diag([1.0, 2.0]))
+
+    def test_accepts_identity(self):
+        assert is_unitary(np.eye(5))
