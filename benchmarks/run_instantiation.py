@@ -6,16 +6,23 @@ Usage::
     python benchmarks/run_instantiation.py               # single-start
     python benchmarks/run_instantiation.py --starts 8    # multi-start
     python benchmarks/run_instantiation.py --trials 10
+    python benchmarks/run_instantiation.py --starts 8 \
+        --json BENCH_multistart.json                     # emit artifact
 
 For every Figure 5 benchmark circuit this prints the mean wall-clock
 instantiation time for OpenQudit (AOT included) and the baseline
 framework, the speedup, and both success rates — the two panels of the
-paper's Figures 6 and 7.
+paper's Figures 6 and 7.  For multi-start runs (``--starts > 1``) the
+OpenQudit engine is measured under *both* execution strategies —
+``sequential`` (one scalar TNVM pass per start) and ``batched`` (all
+starts in one vectorized BatchedTNVM sweep) — and the comparison can
+be written to a JSON artifact for CI tracking.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -25,15 +32,20 @@ from repro.baseline import (
     build_qsearch_ansatz_baseline,
 )
 from repro.circuit import FIG5_BENCHMARKS, fig5_circuit
-from repro.instantiation import Instantiater
+from repro.instantiation import BatchedInstantiater, Instantiater
 
 
 def run_one(
-    name: str, starts: int, trials: int, seed_base: int = 1000
+    name: str,
+    starts: int,
+    trials: int,
+    seed_base: int = 1000,
+    with_batched: bool = False,
+    with_baseline: bool = True,
 ) -> dict:
     qudits, depth, radix = FIG5_BENCHMARKS[name]
-    fast_times, slow_times = [], []
-    fast_successes = slow_successes = 0
+    fast_times, batched_times, slow_times = [], [], []
+    fast_successes = batched_successes = slow_successes = 0
 
     for trial in range(trials):
         circ = fig5_circuit(name)
@@ -48,48 +60,142 @@ def run_one(
         fast_times.append(time.perf_counter() - t0)
         fast_successes += result.success
 
-        base = build_qsearch_ansatz_baseline(qudits, depth, radix)
-        t0 = time.perf_counter()
-        result = BaselineInstantiater(base).instantiate(
-            target, starts=starts, rng=trial
-        )
-        slow_times.append(time.perf_counter() - t0)
-        slow_successes += result.success
+        if with_batched:
+            # Same timing envelope as the sequential row: circuit
+            # construction outside, AOT compile + optimize inside.
+            t0 = time.perf_counter()
+            engine = BatchedInstantiater(circ)
+            result = engine.instantiate(target, starts=starts, rng=trial)
+            batched_times.append(time.perf_counter() - t0)
+            batched_successes += result.success
 
-    return {
+        if with_baseline:
+            base = build_qsearch_ansatz_baseline(qudits, depth, radix)
+            t0 = time.perf_counter()
+            result = BaselineInstantiater(base).instantiate(
+                target, starts=starts, rng=trial
+            )
+            slow_times.append(time.perf_counter() - t0)
+            slow_successes += result.success
+
+    row = {
         "name": name,
-        "fast": float(np.mean(fast_times)),
-        "slow": float(np.mean(slow_times)),
-        "fast_rate": fast_successes / trials,
-        "slow_rate": slow_successes / trials,
+        "sequential_seconds": float(np.mean(fast_times)),
+        "sequential_rate": fast_successes / trials,
     }
+    if with_batched:
+        row["batched_seconds"] = float(np.mean(batched_times))
+        row["batched_rate"] = batched_successes / trials
+    if with_baseline:
+        row["baseline_seconds"] = float(np.mean(slow_times))
+        row["baseline_rate"] = slow_successes / trials
+    return row
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--starts", type=int, default=1)
     parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument(
+        "--circuits",
+        default="",
+        help="comma-separated subset of Figure 5 benchmark names",
+    )
+    parser.add_argument(
+        "--skip-baseline",
+        action="store_true",
+        help="measure only the OpenQudit engines (fast CI smoke)",
+    )
+    parser.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the results (e.g. BENCH_multistart.json)",
+    )
     args = parser.parse_args()
+
+    names = list(FIG5_BENCHMARKS)
+    if args.circuits:
+        wanted = [n.strip() for n in args.circuits.split(",") if n.strip()]
+        unknown = [n for n in wanted if n not in FIG5_BENCHMARKS]
+        if unknown:
+            parser.error(f"unknown circuits: {unknown}; known: {names}")
+        names = wanted
 
     # Warm the process-wide ExpressionCache first: each unique QGL
     # expression is JIT-compiled once per process (paper section IV-B),
     # so measured AOT time covers lowering, pathfinding, bytecode
     # generation and TNVM initialization — not expression compilation.
-    for name in FIG5_BENCHMARKS:
-        Instantiater(fig5_circuit(name))
+    with_batched = args.starts > 1
+    with_baseline = not args.skip_baseline
+
+    for name in names:
+        circ = fig5_circuit(name)
+        engine = Instantiater(
+            circ, strategy="batched" if with_batched else "sequential"
+        )
+        if with_batched:
+            # Also warm the lazily-compiled batched expression writers:
+            # seeding start 0 with the exact solution makes this a
+            # single batched evaluation, not a full optimization.
+            p = np.zeros(circ.num_params)
+            engine.instantiate(circ.get_unitary(p), starts=2, x0=p)
 
     figure = "Figure 7" if args.starts > 1 else "Figure 6"
     print(f"{figure}: {args.starts}-start instantiation, "
           f"{args.trials} targets per benchmark\n")
-    print(f"{'benchmark':<18} {'openqudit(s)':>13} {'baseline(s)':>12} "
-          f"{'speedup':>8} {'oq rate':>8} {'base rate':>10}")
-    for name in FIG5_BENCHMARKS:
-        row = run_one(name, args.starts, args.trials)
-        print(
-            f"{row['name']:<18} {row['fast']:>13.3f} "
-            f"{row['slow']:>12.3f} {row['slow'] / row['fast']:>7.1f}x "
-            f"{row['fast_rate']:>7.0%} {row['slow_rate']:>9.0%}"
+    header = f"{'benchmark':<18} {'sequential(s)':>14}"
+    if with_batched:
+        header += f" {'batched(s)':>11}"
+    if with_baseline:
+        header += f" {'baseline(s)':>12} {'speedup':>8}"
+    header += f" {'seq rate':>9}"
+    if with_batched:
+        header += f" {'bat rate':>9}"
+    print(header)
+
+    rows = []
+    for name in names:
+        row = run_one(
+            name,
+            args.starts,
+            args.trials,
+            with_batched=with_batched,
+            with_baseline=with_baseline,
         )
+        rows.append(row)
+        line = f"{row['name']:<18} {row['sequential_seconds']:>14.3f}"
+        if with_batched:
+            line += f" {row['batched_seconds']:>11.3f}"
+        if with_baseline:
+            speedup = row["baseline_seconds"] / row["sequential_seconds"]
+            line += f" {row['baseline_seconds']:>12.3f} {speedup:>7.1f}x"
+        line += f" {row['sequential_rate']:>8.0%}"
+        if with_batched:
+            line += f" {row['batched_rate']:>8.0%}"
+        print(line)
+
+    report = {
+        "starts": args.starts,
+        "trials": args.trials,
+        "circuits": rows,
+    }
+    if with_batched:
+        seq_total = sum(r["sequential_seconds"] for r in rows)
+        bat_total = sum(r["batched_seconds"] for r in rows)
+        report["sequential_total_seconds"] = seq_total
+        report["batched_total_seconds"] = bat_total
+        report["batched_speedup"] = seq_total / bat_total
+        print(
+            f"\nsuite total: sequential {seq_total:.3f}s, "
+            f"batched {bat_total:.3f}s "
+            f"({seq_total / bat_total:.2f}x batched speedup)"
+        )
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
 
 
 if __name__ == "__main__":

@@ -4,6 +4,13 @@ This is where the paper's AOT trade-off pays off (19.6x on the 3-qubit
 shallow case): OpenQudit pays compilation once and short-circuits on
 the first successful start, while the baseline re-pays its per-
 iteration evaluation cost in every start.
+
+Both OpenQudit execution strategies are benchmarked per circuit:
+``sequential`` (one scalar TNVM pass per start, the seed behaviour)
+and ``batched`` (all starts advance through one vectorized BatchedTNVM
+sweep per LM round).  They share a ``fig7-<name>`` benchmark group
+with the baseline, so ``pytest benchmarks --benchmark-group-by=group``
+reads as a three-way comparison.
 """
 
 import numpy as np
@@ -22,9 +29,11 @@ NAMES = list(FIG5_BENCHMARKS)
 STARTS = 8  # BQSKit -O3 default, per the paper
 
 
-def openqudit_multi_start(name: str, target: np.ndarray) -> bool:
+def openqudit_multi_start(
+    name: str, target: np.ndarray, strategy: str
+) -> bool:
     circ = fig5_circuit(name)
-    engine = Instantiater(circ)
+    engine = Instantiater(circ, strategy=strategy)
     return engine.instantiate(target, starts=STARTS, rng=1).success
 
 
@@ -35,12 +44,13 @@ def baseline_multi_start(name: str, target: np.ndarray) -> bool:
     return engine.instantiate(target, starts=STARTS, rng=1).success
 
 
+@pytest.mark.parametrize("strategy", ["sequential", "batched"])
 @pytest.mark.parametrize("name", NAMES)
-def test_multi_start_openqudit(benchmark, name):
+def test_multi_start_openqudit(benchmark, name, strategy):
     benchmark.group = f"fig7-{name}"
     target = make_target(name, seed=11)
     benchmark.pedantic(
-        openqudit_multi_start, args=(name, target),
+        openqudit_multi_start, args=(name, target, strategy),
         rounds=2, iterations=1,
     )
 

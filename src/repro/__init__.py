@@ -42,6 +42,7 @@ from .circuit import (
 )
 from .expression import UnitaryExpression
 from .instantiation import (
+    BatchedInstantiater,
     Instantiater,
     InstantiationResult,
     LMOptions,
@@ -49,7 +50,7 @@ from .instantiation import (
 )
 from .jit import ExpressionCache, global_cache
 from .tensornet import compile_network
-from .tnvm import TNVM, Differentiation
+from .tnvm import TNVM, BatchedTNVM, Differentiation
 from .utils import hilbert_schmidt_infidelity, random_unitary
 
 __version__ = "1.0.0"
@@ -58,11 +59,13 @@ __all__ = [
     "UnitaryExpression",
     "QuditCircuit",
     "TNVM",
+    "BatchedTNVM",
     "Differentiation",
     "compile_network",
     "ExpressionCache",
     "global_cache",
     "Instantiater",
+    "BatchedInstantiater",
     "InstantiationResult",
     "LMOptions",
     "instantiate",

@@ -46,12 +46,22 @@ def op_cost(op: str) -> float:
         raise ValueError(f"no cost defined for operator {op!r}") from None
 
 
-def expression_cost(expr) -> float:
+def expression_cost(expr, seen: set[int] | None = None) -> float:
     """DAG-aware cost of a symbolic expression.
 
     Shared subexpressions are counted once, matching what the JIT's
-    common-subexpression elimination will actually emit.
+    common-subexpression elimination will actually emit.  Passing the
+    same ``seen`` set across several calls extends the de-duplication
+    across roots (Expr nodes are interned, so identity equals
+    structure), which is how batch costs are computed.
     """
     from ..symbolic import expr as E
 
-    return sum(op_cost(node.op) for node in E.postorder(expr))
+    if seen is None:
+        seen = set()
+    total = 0.0
+    for node in E.postorder(expr):
+        if id(node) not in seen:
+            seen.add(id(node))
+            total += op_cost(node.op)
+    return total

@@ -11,6 +11,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..symbolic.expr import Expr
+from .cost import expression_cost
 from .egraph import EGraph
 from .extract import GreedyExtractor
 from .pattern import Rewrite
@@ -113,7 +114,23 @@ def simplify_all(
     egraph.rebuild()
     Runner(rules, limits).run(egraph)
     extractor = GreedyExtractor(egraph)
-    return extractor.extract_many(roots)
+    extracted = extractor.extract_many(roots)
+    # The greedy extractor scores e-classes as trees, so on rare inputs
+    # it can pick a form that is *worse* under the DAG-aware cost the
+    # JIT actually pays (e.g. `2*sin(x)` over `sin(x)+sin(x)`, whose
+    # shared sin is emitted once).  Never let simplification regress:
+    # keep the originals unless extraction genuinely improved the
+    # batch.
+    if _batch_cost(extracted) <= _batch_cost(exprs):
+        return extracted
+    return list(exprs)
+
+
+def _batch_cost(exprs: list[Expr]) -> float:
+    """DAG-aware Table I cost of a batch: every distinct node counted
+    once across all roots, via a ``seen`` set shared between calls."""
+    seen: set[int] = set()
+    return sum(expression_cost(root, seen) for root in exprs)
 
 
 def simplify(

@@ -1,25 +1,42 @@
 """Numerical instantiation: HS cost, Levenberg-Marquardt, multi-start."""
 
-from .cost import HilbertSchmidtResiduals, infidelity_from_cost
+from .batched import BatchedInstantiater
+from .cost import (
+    BatchedHilbertSchmidtResiduals,
+    HilbertSchmidtResiduals,
+    infidelity_from_cost,
+)
 from .gd import AdamOptions, AdamResult, InfidelityFunction, adam_minimize
 from .instantiater import (
+    AUTO_BATCH_MIN_STARTS,
+    STRATEGIES,
     SUCCESS_THRESHOLD,
     Instantiater,
     InstantiationResult,
     instantiate,
 )
-from .lm import LMOptions, LMResult, levenberg_marquardt
+from .lm import (
+    LMOptions,
+    LMResult,
+    batched_levenberg_marquardt,
+    levenberg_marquardt,
+)
 
 __all__ = [
     "Instantiater",
+    "BatchedInstantiater",
     "InstantiationResult",
     "instantiate",
+    "STRATEGIES",
+    "AUTO_BATCH_MIN_STARTS",
     "SUCCESS_THRESHOLD",
     "HilbertSchmidtResiduals",
+    "BatchedHilbertSchmidtResiduals",
     "infidelity_from_cost",
     "LMOptions",
     "LMResult",
     "levenberg_marquardt",
+    "batched_levenberg_marquardt",
     "AdamOptions",
     "AdamResult",
     "InfidelityFunction",

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tnvm.vm import TNVM, Differentiation
+from ..tnvm.vm import TNVM, BatchedTNVM, Differentiation
 
-__all__ = ["HilbertSchmidtResiduals", "infidelity_from_cost"]
+__all__ = [
+    "HilbertSchmidtResiduals",
+    "BatchedHilbertSchmidtResiduals",
+    "infidelity_from_cost",
+]
 
 
 class HilbertSchmidtResiduals:
@@ -79,6 +83,74 @@ class HilbertSchmidtResiduals:
         return phase * self.target
 
 
+class BatchedHilbertSchmidtResiduals:
+    """Batched residuals + Jacobian: ``S`` starts per evaluation.
+
+    The same Eq. (1) least-squares form as
+    :class:`HilbertSchmidtResiduals`, computed for every row of a
+    ``(S, P)`` parameter matrix in one vectorized
+    :class:`~repro.tnvm.vm.BatchedTNVM` sweep.  Phase alignment is
+    per-start.
+    """
+
+    def __init__(self, vm: BatchedTNVM, target: np.ndarray):
+        if vm.diff is not Differentiation.GRADIENT:
+            raise ValueError("residuals require a GRADIENT BatchedTNVM")
+        dim = vm.dim
+        target = np.asarray(target, dtype=np.complex128)
+        if target.shape != (dim, dim):
+            raise ValueError(
+                f"target shape {target.shape} does not match circuit "
+                f"dimension {dim}"
+            )
+        self.vm = vm
+        self.target = target
+        self.dim = dim
+        self.batch = vm.batch
+        self.num_params = vm.num_params
+        self.num_residuals = 2 * dim * dim
+
+    # ------------------------------------------------------------------
+    def cost(self, params: np.ndarray) -> np.ndarray:
+        """Per-start Eq. (1) infidelity, shape ``(S,)``."""
+        u = self.vm.evaluate(params)
+        trace = np.einsum("ij,bij->b", self.target.conj(), u)
+        return 1.0 - np.abs(trace) / self.dim
+
+    def residuals(self, params: np.ndarray) -> np.ndarray:
+        u = self.vm.evaluate(params)
+        diff = u - self._aligned_targets(u)
+        b = u.shape[0]
+        return np.concatenate(
+            [diff.real.reshape(b, -1), diff.imag.reshape(b, -1)], axis=1
+        )
+
+    def residuals_and_jacobian(
+        self, params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual matrix ``(S, 2D^2)`` and Jacobian ``(S, 2D^2, P)``."""
+        u, grad = self.vm.evaluate_with_grad(params)
+        diff = u - self._aligned_targets(u)
+        b = u.shape[0]
+        r = np.concatenate(
+            [diff.real.reshape(b, -1), diff.imag.reshape(b, -1)], axis=1
+        )
+        flat = grad.reshape(b, self.num_params, -1)
+        jac = np.concatenate([flat.real, flat.imag], axis=2).transpose(
+            0, 2, 1
+        )
+        return r, np.ascontiguousarray(jac)
+
+    def _aligned_targets(self, u: np.ndarray) -> np.ndarray:
+        trace = np.einsum("ij,bij->b", self.target.conj(), u)
+        mag = np.abs(trace)
+        safe = np.where(mag > 1e-300, mag, 1.0)
+        phase = np.where(mag > 1e-300, trace / safe, 1.0)
+        return phase[:, None, None] * self.target
+
+
 def infidelity_from_cost(sum_sq_residuals: float, dim: int) -> float:
-    """Convert a least-squares cost ``sum(r^2)`` back to Eq. (1)."""
+    """Convert a least-squares cost ``sum(r^2)`` back to Eq. (1).
+
+    Accepts a scalar or an array of costs (batched multi-start)."""
     return sum_sq_residuals / (2.0 * dim)

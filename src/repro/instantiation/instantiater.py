@@ -10,6 +10,7 @@ multi-start speedup).
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -21,10 +22,68 @@ from ..tnvm.vm import TNVM, Differentiation
 from .cost import HilbertSchmidtResiduals, infidelity_from_cost
 from .lm import LMOptions, LMResult, levenberg_marquardt
 
-__all__ = ["InstantiationResult", "Instantiater", "instantiate"]
+__all__ = [
+    "InstantiationResult",
+    "Instantiater",
+    "instantiate",
+    "STRATEGIES",
+    "AUTO_BATCH_MIN_STARTS",
+]
 
 #: Default success threshold on the Eq. (1) infidelity.
 SUCCESS_THRESHOLD = 1e-8
+
+#: Valid values for the multi-start execution strategy.
+STRATEGIES = ("sequential", "batched", "auto")
+
+#: ``strategy="auto"`` switches to the batched engine at this many
+#: starts: below it the sequential short-circuit usually wins (start 0
+#: often succeeds and the batch would mostly compute abandoned work),
+#: above it the vectorized sweep amortization dominates.
+AUTO_BATCH_MIN_STARTS = 4
+
+
+def draw_guess(
+    rng: np.random.Generator,
+    num_params: int,
+    x0: np.ndarray | None = None,
+) -> np.ndarray:
+    """One start's initial parameters: ``x0`` when given (start 0),
+    else uniform in ``[-2pi, 2pi)``.
+
+    Shared by the sequential and batched engines so that a given rng
+    seed produces the identical start population in either.
+    """
+    if x0 is not None:
+        guess = np.asarray(x0, dtype=np.float64)
+        if guess.shape != (num_params,):
+            raise ValueError(f"x0 must have shape ({num_params},)")
+        return guess
+    return rng.uniform(-2 * np.pi, 2 * np.pi, num_params)
+
+
+def scan_winner(runs, dim: int, success_threshold: float):
+    """The multi-start winner scan: best-so-far by cost, stopping at
+    the first start where the best reaches the threshold (the paper's
+    early-termination short-circuit).
+
+    ``runs`` may be a lazy iterator — the sequential engine feeds one
+    that *executes* each start on demand, so breaking out of the scan
+    is what skips the remaining starts.  The batched engine replays
+    the same scan over its completed runs, which is what guarantees
+    the two engines agree on the winning start and ``starts_used``.
+
+    Returns ``(best_run, starts_used)``.
+    """
+    best: LMResult | None = None
+    used = 0
+    for run in runs:
+        used += 1
+        if best is None or run.cost < best.cost:
+            best = run
+        if infidelity_from_cost(best.cost, dim) <= success_threshold:
+            break  # short-circuit: a valid solution was found
+    return best, used
 
 
 @dataclass
@@ -61,31 +120,69 @@ class Instantiater:
         cache: ExpressionCache | None = None,
         success_threshold: float = SUCCESS_THRESHOLD,
         lm_options: LMOptions | None = None,
+        strategy: str = "sequential",
     ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
         start = time.perf_counter()
+        self.strategy = strategy
         self.circuit = circuit
-        program = circuit.compile()
-        self.vm = TNVM(
-            program,
-            precision=precision,
-            diff=Differentiation.GRADIENT,
-            cache=cache,
-        )
+        self.precision = precision
+        self.cache = cache
+        self.program = circuit.compile()
+        self._vm: TNVM | None = None
         self.aot_seconds = time.perf_counter() - start
+        if strategy != "batched":
+            # A batched-only engine never executes the scalar VM; defer
+            # its construction (mirroring the lazy batched engine) so
+            # each strategy pays only its own setup.  Sequential/auto
+            # engines keep the seed behaviour: VM ready after init.
+            _ = self.vm
         self.success_threshold = success_threshold
         self.num_params = circuit.num_params
-        base = lm_options or LMOptions()
+        self._batched_engine = None
         # Encode the infidelity threshold as a residual-cost threshold.
-        self.lm_options = LMOptions(
-            max_iterations=base.max_iterations,
-            initial_mu=base.initial_mu,
-            mu_up=base.mu_up,
-            mu_down=base.mu_down,
-            max_mu=base.max_mu,
-            gradient_tolerance=base.gradient_tolerance,
-            step_tolerance=base.step_tolerance,
+        self.lm_options = dataclasses.replace(
+            lm_options or LMOptions(),
             success_cost=2.0 * circuit.dim * success_threshold,
         )
+
+    @property
+    def vm(self) -> TNVM:
+        """The scalar TNVM, built on first use and counted into
+        ``aot_seconds`` (immediately in ``__init__`` for sequential
+        engines, on first sequential call for batched ones)."""
+        if self._vm is None:
+            t0 = time.perf_counter()
+            self._vm = TNVM(
+                self.program,
+                precision=self.precision,
+                diff=Differentiation.GRADIENT,
+                cache=self.cache,
+            )
+            self.aot_seconds += time.perf_counter() - t0
+        return self._vm
+
+    def _batched(self):
+        """The lazily-built batched engine sharing this AOT compile."""
+        if self._batched_engine is None:
+            from .batched import BatchedInstantiater
+
+            engine = BatchedInstantiater(
+                self.circuit,
+                precision=self.precision,
+                cache=self.cache,
+                success_threshold=self.success_threshold,
+                lm_options=self.lm_options,
+                program=self.program,
+            )
+            # The bytecode was compiled by *this* engine; report one
+            # combined AOT figure rather than double-counting zero.
+            engine.aot_seconds += self.aot_seconds
+            self._batched_engine = engine
+        return self._batched_engine
 
     def instantiate(
         self,
@@ -93,41 +190,57 @@ class Instantiater:
         starts: int = 1,
         rng: np.random.Generator | int | None = None,
         x0: np.ndarray | None = None,
+        strategy: str | None = None,
     ) -> InstantiationResult:
         """Fit the circuit to ``target`` with multi-start LM.
 
         ``x0`` seeds the first start; remaining starts draw uniform
-        random parameters in ``[-2pi, 2pi)``.
+        random parameters in ``[-2pi, 2pi)``.  ``strategy`` overrides
+        the engine default for this call: ``"sequential"`` runs starts
+        one at a time through the scalar TNVM, ``"batched"`` advances
+        all starts through one vectorized BatchedTNVM sweep, and
+        ``"auto"`` picks batched once enough starts are requested to
+        amortize the batch.
         """
+        strategy = strategy if strategy is not None else self.strategy
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        if strategy == "auto":
+            strategy = (
+                "batched"
+                if max(1, starts) >= AUTO_BATCH_MIN_STARTS
+                and self.num_params > 0
+                else "sequential"
+            )
+        if strategy == "batched":
+            return self._batched().instantiate(
+                target, starts=starts, rng=rng, x0=x0
+            )
+
         rng = np.random.default_rng(rng)
         residuals = HilbertSchmidtResiduals(self.vm, target)
         fn = residuals.residuals_and_jacobian
 
         t0 = time.perf_counter()
-        best: LMResult | None = None
         runs: list[LMResult] = []
-        used = 0
-        for s in range(max(1, starts)):
-            if s == 0 and x0 is not None:
-                guess = np.asarray(x0, dtype=np.float64)
-                if guess.shape != (self.num_params,):
-                    raise ValueError(
-                        f"x0 must have shape ({self.num_params},)"
-                    )
-            else:
-                guess = rng.uniform(
-                    -2 * np.pi, 2 * np.pi, self.num_params
-                )
-            run = levenberg_marquardt(fn, guess, self.lm_options)
-            runs.append(run)
-            used += 1
-            if best is None or run.cost < best.cost:
-                best = run
-            if infidelity_from_cost(
-                best.cost, self.vm.dim
-            ) <= self.success_threshold:
-                break  # short-circuit: a valid solution was found
 
+        def run_starts():
+            # Lazy: each start draws and optimizes only when the
+            # winner scan asks for it, so breaking out of the scan is
+            # the multi-start short-circuit.
+            for s in range(max(1, starts)):
+                guess = draw_guess(
+                    rng, self.num_params, x0 if s == 0 else None
+                )
+                run = levenberg_marquardt(fn, guess, self.lm_options)
+                runs.append(run)
+                yield run
+
+        best, used = scan_winner(
+            run_starts(), self.vm.dim, self.success_threshold
+        )
         optimize_seconds = time.perf_counter() - t0
         infidelity = infidelity_from_cost(best.cost, self.vm.dim)
         return InstantiationResult(
@@ -151,6 +264,7 @@ def instantiate(
     precision: str = "f64",
     success_threshold: float = SUCCESS_THRESHOLD,
     lm_options: LMOptions | None = None,
+    strategy: str = "sequential",
 ) -> InstantiationResult:
     """One-shot convenience wrapper around :class:`Instantiater`."""
     engine = Instantiater(
@@ -158,5 +272,6 @@ def instantiate(
         precision=precision,
         success_threshold=success_threshold,
         lm_options=lm_options,
+        strategy=strategy,
     )
     return engine.instantiate(target, starts=starts, rng=rng)

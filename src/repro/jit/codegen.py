@@ -20,11 +20,20 @@ Two functions are emitted per expression:
     The hot function: unpacks parameters, evaluates the CSE'd temporary
     chain with ``math.sin``/``math.cos``/... scalar calls, and stores the
     parameter-dependent complex entries.
+
+A *batched* variant of ``write`` can also be generated: the same
+straight-line CSE chain, but evaluated with numpy ufuncs over a
+trailing batch axis.  ``params[k]`` is then a length-``S`` vector (one
+entry per batch element) and every ``out[i, j]`` store assigns a
+length-``S`` slice, so a single call evaluates the expression for all
+``S`` multi-start parameter sets at once.
 """
 
 from __future__ import annotations
 
 import math
+
+import numpy as np
 
 from ..egraph.cost import op_cost
 from ..symbolic import expr as E
@@ -38,6 +47,17 @@ _GLOBALS = {
     "exp": math.exp,
     "ln": math.log,
     "sqrt": math.sqrt,
+    "pi": math.pi,
+}
+
+#: Globals for the batched writer: identical names bound to numpy
+#: ufuncs so the generated code vectorizes over the batch axis.
+_BATCHED_GLOBALS = {
+    "sin": np.sin,
+    "cos": np.cos,
+    "exp": np.exp,
+    "ln": np.log,
+    "sqrt": np.sqrt,
     "pi": math.pi,
 }
 
@@ -132,6 +152,7 @@ def generate_source(
     grad_entries: list[tuple[tuple[int, int, int], Expr, Expr]],
     param_names: tuple[str, ...],
     func_name: str = "qgl_write",
+    batched: bool = False,
 ) -> tuple[str, int, int, float]:
     """Generate the writer-pair source.
 
@@ -144,6 +165,11 @@ def generate_source(
         gradient; empty when differentiation is not requested.
     param_names:
         Parameter order defining ``params[k]``.
+    batched:
+        Emit the batch-vectorized variant: ``params[k]`` is a vector
+        and complex stores use ``re + 1j * im`` (``complex()`` only
+        accepts scalars), so the caller passes views with a trailing
+        batch axis.
 
     Returns ``(source, n_dynamic, n_constant, total_cost)``.
     """
@@ -184,6 +210,8 @@ def generate_source(
         accumulate_cost(im_e)
         if im_e.is_zero:
             stores.append(f"    {target} = {re_atom}")
+        elif batched:
+            stores.append(f"    {target} = {re_atom} + 1j * {im_atom}")
         else:
             stores.append(f"    {target} = complex({re_atom}, {im_atom})")
     param_unpack = [
@@ -219,12 +247,13 @@ def compile_writer(
     grad_entries: list[tuple[tuple[int, int, int], Expr, Expr]],
     param_names: tuple[str, ...],
     func_name: str = "qgl_write",
+    batched: bool = False,
 ) -> CodegenResult:
     """Generate, compile, and return the writer pair."""
     source, n_dyn, n_const, cost = generate_source(
-        unitary_entries, grad_entries, param_names, func_name
+        unitary_entries, grad_entries, param_names, func_name, batched
     )
-    namespace = dict(_GLOBALS)
+    namespace = dict(_BATCHED_GLOBALS if batched else _GLOBALS)
     code = compile(source, f"<qgl-jit:{func_name}>", "exec")
     exec(code, namespace)
     constants_out = namespace[f"{func_name}_constants_out"]

@@ -36,6 +36,8 @@ class CompiledExpression:
         "_result",
         "simplified",
         "_has_grad",
+        "_entries",
+        "_batched_result",
     )
 
     def __init__(
@@ -83,6 +85,11 @@ class CompiledExpression:
         self._result: CodegenResult = compile_writer(
             unitary_entries, grad_entries, matrix.params, func_name
         )
+        # Retained so the batched writer variant can be generated on
+        # demand (the batched TNVM is the only consumer; compiling it
+        # eagerly would double JIT latency for every scalar user).
+        self._entries = (unitary_entries, grad_entries, func_name)
+        self._batched_result: CodegenResult | None = None
 
     # ------------------------------------------------------------------
     # Hot path
@@ -94,8 +101,35 @@ class CompiledExpression:
 
     @property
     def write_constants(self):
-        """One-time writer for parameter-independent entries."""
+        """One-time writer for parameter-independent entries.
+
+        Constant entries are written as complex scalars, so the same
+        function also initializes batched views (the scalar assignment
+        broadcasts over the trailing batch axis).
+        """
         return self._result.write_constants
+
+    @property
+    def write_batched(self):
+        """``write(param_rows, out, grad=None)`` vectorized over a batch.
+
+        ``param_rows[k]`` is a length-``S`` vector and ``out``/``grad``
+        carry a trailing batch axis of length ``S``.  Compiled lazily on
+        first access and cached on the (shared) instance; compilation is
+        idempotent, so a benign race at worst compiles twice.
+        """
+        result = self._batched_result
+        if result is None:
+            unitary_entries, grad_entries, func_name = self._entries
+            result = compile_writer(
+                unitary_entries,
+                grad_entries,
+                self.matrix.params,
+                func_name + "_batched",
+                batched=True,
+            )
+            self._batched_result = result
+        return result.write
 
     # ------------------------------------------------------------------
     # Convenience (allocating) entry points

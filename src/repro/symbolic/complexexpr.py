@@ -12,7 +12,6 @@ and ``cos`` for uniform processing by the e-graph and the JIT.
 
 from __future__ import annotations
 
-import cmath
 from typing import Mapping
 
 from . import expr as E

@@ -13,7 +13,6 @@ instruction for forward-mode automatic differentiation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..symbolic.matrix import ExpressionMatrix
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from .network import ParamSlot, TensorNetwork, TNTensor
+from .network import TensorNetwork, TNTensor
 
 __all__ = ["TreeNode", "ContractionTree", "build_contraction_tree"]
 

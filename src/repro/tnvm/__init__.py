@@ -1,6 +1,12 @@
 """The Tensor Network Virtual Machine runtime."""
 
-from .buffers import MemoryPlan
-from .vm import TNVM, Differentiation
+from .buffers import BatchedMemoryPlan, MemoryPlan
+from .vm import TNVM, BatchedTNVM, Differentiation
 
-__all__ = ["TNVM", "Differentiation", "MemoryPlan"]
+__all__ = [
+    "TNVM",
+    "BatchedTNVM",
+    "Differentiation",
+    "MemoryPlan",
+    "BatchedMemoryPlan",
+]

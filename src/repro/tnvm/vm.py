@@ -23,10 +23,10 @@ import numpy as np
 
 from ..jit.cache import ExpressionCache, global_cache
 from ..tensornet.bytecode import Program
-from .ad import build_closure
-from .buffers import MemoryPlan
+from .ad import build_batched_closure, build_batched_write_group, build_closure
+from .buffers import BatchedMemoryPlan, MemoryPlan
 
-__all__ = ["Differentiation", "TNVM"]
+__all__ = ["Differentiation", "TNVM", "BatchedTNVM"]
 
 
 class Differentiation(enum.Enum):
@@ -187,4 +187,177 @@ class TNVM:
             f"<TNVM {self.precision} diff={self.diff.name} "
             f"params={self.num_params} dim={self.dim} "
             f"mem={self.memory_bytes}B>"
+        )
+
+
+class BatchedTNVM:
+    """A TNVM that evaluates ``batch`` parameter sets per sweep.
+
+    Semantically equivalent to ``batch`` independent :class:`TNVM`
+    instances, but every instruction executes once per sweep as a
+    vectorized numpy operation over a leading batch axis, so the
+    Python dispatch and kernel-launch overhead of the bytecode loop is
+    amortized across all batch elements.  This is the engine behind
+    batched multi-start instantiation: all ``S`` LM starts advance
+    through one shared arena.
+
+    Parameters match :class:`TNVM` plus ``batch``, the fixed number of
+    parameter sets per evaluation.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        batch: int,
+        precision: str = "f64",
+        diff: Differentiation = Differentiation.GRADIENT,
+        cache: ExpressionCache | None = None,
+    ):
+        if diff is Differentiation.HESSIAN:
+            raise NotImplementedError(
+                "Hessian-level differentiation is reserved future work"
+            )
+        try:
+            dtype = _DTYPES[precision]
+        except KeyError:
+            raise ValueError(
+                f"precision must be 'f32' or 'f64', got {precision!r}"
+            ) from None
+        self.program = program
+        self.batch = int(batch)
+        self.precision = "f32" if dtype == np.complex64 else "f64"
+        self.diff = diff
+        self.num_params = program.num_params
+        want_grad = diff is Differentiation.GRADIENT
+
+        self.plan = BatchedMemoryPlan(program, dtype, want_grad, self.batch)
+
+        if cache is None:
+            cache = global_cache()
+        self.compiled = [
+            cache.get(expr, grad=want_grad and expr.num_params > 0)
+            for expr in program.expressions
+        ]
+
+        for instr in program.const_section:
+            closure = build_batched_closure(
+                instr, program, self.plan, self.compiled, grad=False
+            )
+            closure(())
+
+        # WRITE instructions sharing one JIT'd expression are grouped
+        # into a single batched writer call (effective batch G*S) and
+        # hoisted to the front — safe, since WRITEs read no buffers and
+        # every buffer is written exactly once.  This collapses the
+        # ufunc dispatch overhead that otherwise dominates batched
+        # WRITE cost.
+        groups: dict[int, list[int]] = {}
+        for pos, instr in enumerate(program.dynamic_section):
+            if instr.opcode == "WRITE" and instr.slots:
+                groups.setdefault(instr.expr_id, []).append(pos)
+        grouped_pos = set()
+        self._dynamic = []
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            grouped_pos.update(members)
+            self._dynamic.append(
+                build_batched_write_group(
+                    [program.dynamic_section[p] for p in members],
+                    program,
+                    self.plan,
+                    self.compiled,
+                    grad=want_grad,
+                )
+            )
+        self._dynamic += [
+            build_batched_closure(
+                instr, program, self.plan, self.compiled, grad=want_grad
+            )
+            for pos, instr in enumerate(program.dynamic_section)
+            if pos not in grouped_pos
+        ]
+
+        dim = program.output_shape[0]
+        self._out_view = self.plan.value_view(
+            program.output_buffer, (dim, dim)
+        )
+        out_spec = program.buffers[program.output_buffer]
+        self._out_param_rows = out_spec.params
+        self._out_grad_view = (
+            self.plan.grad_view(program.output_buffer, (dim, dim))
+            if want_grad and out_spec.params
+            else None
+        )
+        self._full_grad = (
+            np.zeros((self.batch, self.num_params, dim, dim), dtype=dtype)
+            if want_grad
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def evaluate(self, params: np.ndarray) -> np.ndarray:
+        """Compute the circuit unitary for every batch element.
+
+        ``params`` has shape ``(batch, num_params)``.  Returns a
+        ``(batch, dim, dim)`` *view* into the VM's arena: valid until
+        the next ``evaluate`` call; copy it to retain it.
+        """
+        rows = self._check(params)
+        for run in self._dynamic:
+            run(rows)
+        return self._out_view
+
+    def evaluate_with_grad(
+        self, params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute every batch element's unitary and gradient.
+
+        Returns ``(unitary, gradient)`` with shapes ``(batch, dim,
+        dim)`` and ``(batch, num_params, dim, dim)``; gradient rows for
+        parameters the output does not depend on are zero.  Both arrays
+        are reused across calls.
+        """
+        if self.diff is not Differentiation.GRADIENT:
+            raise RuntimeError(
+                "BatchedTNVM was instantiated with Differentiation.NONE"
+            )
+        rows = self._check(params)
+        for run in self._dynamic:
+            run(rows)
+        if self._out_grad_view is not None:
+            for row, p in enumerate(self._out_param_rows):
+                self._full_grad[:, p] = self._out_grad_view[:, row]
+        return self._out_view, self._full_grad
+
+    def _check(self, params: np.ndarray) -> np.ndarray:
+        """Validate shape; return the ``(num_params, batch)`` row form
+        the batched WRITE closures index by parameter."""
+        arr = np.asarray(params, dtype=np.float64)
+        if arr.shape != (self.batch, self.num_params):
+            raise ValueError(
+                f"program expects ({self.batch}, {self.num_params}) "
+                f"parameters, got {arr.shape}"
+            )
+        return np.ascontiguousarray(arr.T)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Size of the preallocated batched arenas."""
+        return self.plan.memory_bytes
+
+    @property
+    def dim(self) -> int:
+        return self.program.output_shape[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"<BatchedTNVM batch={self.batch} {self.precision} "
+            f"diff={self.diff.name} params={self.num_params} "
+            f"dim={self.dim} mem={self.memory_bytes}B>"
         )

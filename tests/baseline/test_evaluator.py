@@ -1,7 +1,6 @@
 """Dense evaluator tests: embedding and chain-rule gradients."""
 
 import numpy as np
-import pytest
 
 from repro.baseline import gates as bg
 from repro.baseline.circuit import BaselineCircuit

@@ -179,3 +179,11 @@ class TestSemanticPreservation:
     @settings(max_examples=40, deadline=None)
     def test_simplify_never_raises_cost(self, expr):
         assert expression_cost(simplify(expr)) <= expression_cost(expr) + 1e-9
+
+    def test_shared_subexpression_not_rewritten_to_costlier_form(self):
+        """Deterministic regression for the tree-vs-DAG cost mismatch:
+        ``sin(x) + sin(x)`` shares its sin under CSE (cost 51), so the
+        extractor's preferred ``2*sin(x)`` (cost 55.5) must not win."""
+        x = E.var("x")
+        expr = E.add(E.sin(x), E.sin(x))
+        assert expression_cost(simplify(expr)) <= expression_cost(expr)

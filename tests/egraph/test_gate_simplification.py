@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro.circuit import gates
-from repro.egraph import expression_cost, simplify_all
+from repro.egraph import simplify_all
 from repro.symbolic import expr as E
 
 GATE_FACTORIES = [

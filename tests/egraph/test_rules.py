@@ -10,7 +10,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.egraph.pattern import PatNode, Pattern, PatVar
+from repro.egraph.pattern import Pattern, PatVar
 from repro.egraph.rules import default_rules
 from repro.symbolic import expr as E
 

@@ -1,7 +1,6 @@
 """Tests for the naive Levenberg-Marquardt optimizer."""
 
 import numpy as np
-import pytest
 
 from repro.instantiation.lm import LMOptions, levenberg_marquardt
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.symbolic import expr as E
-from repro.symbolic.complexexpr import CI, CONE, CZERO, ComplexExpr
+from repro.symbolic.complexexpr import CONE, CZERO, ComplexExpr
 from repro.symbolic.matrix import ExpressionMatrix
 
 

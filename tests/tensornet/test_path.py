@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from repro.circuit import QuditCircuit, build_qsearch_ansatz, gates
+from repro.circuit import build_qsearch_ansatz, gates
 from repro.tensornet.path import (
     OPTIMAL_CUTOFF,
     find_contraction_path,
