@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Run the synthesis workload suite and emit a CI-trackable report.
+
+Usage::
+
+    python benchmarks/run_synthesis.py                       # full console run
+    python benchmarks/run_synthesis.py --random-targets 2 \
+        --json BENCH_synthesis.json                          # CI smoke artifact
+
+Synthesizes the 2-qubit QFT plus ``--random-targets`` seeded Haar-random
+2-qubit unitaries with :class:`repro.synthesis.SynthesisSearch` (U3+CNOT
+gate set, one shared engine pool), then compresses a deliberately deep
+ansatz with :class:`repro.synthesis.Resynthesizer`.  The JSON report
+records, per target: solved or not, infidelity, entangling-gate count,
+instantiation calls, engine-cache hits/misses, and wall time — the
+figures of merit for the paper's section II-B workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+
+from repro.circuit import build_qft_circuit, build_qsearch_ansatz
+from repro.synthesis import Resynthesizer, SynthesisSearch
+from repro.utils import random_unitary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--random-targets", type=int, default=5)
+    parser.add_argument("--starts", type=int, default=8)
+    parser.add_argument("--seed-base", type=int, default=100)
+    parser.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the report (e.g. BENCH_synthesis.json)",
+    )
+    args = parser.parse_args()
+
+    search = SynthesisSearch(starts=args.starts)
+    targets = [("qft2", build_qft_circuit(2).get_unitary(()))]
+    targets += [
+        (f"random-{k}", random_unitary(4, rng=args.seed_base + k))
+        for k in range(args.random_targets)
+    ]
+
+    print(f"synthesis: {len(targets)} 2-qubit targets, U3+CNOT gate set, "
+          f"{args.starts} starts per candidate\n")
+    print(f"{'target':<12} {'solved':>6} {'CX':>3} {'infidelity':>11} "
+          f"{'calls':>6} {'hits':>5} {'seconds':>8}")
+
+    rows = []
+    for k, (name, target) in enumerate(targets):
+        result = search.synthesize(target, rng=k)
+        rows.append({
+            "target": name,
+            "solved": result.success,
+            "infidelity": result.infidelity,
+            "cx_count": result.count("CX"),
+            "operations": result.circuit.num_operations,
+            "instantiation_calls": result.instantiation_calls,
+            "engine_cache_hits": result.engine_cache_hits,
+            "engine_cache_misses": result.engine_cache_misses,
+            "nodes_expanded": result.nodes_expanded,
+            "wall_seconds": result.wall_seconds,
+        })
+        print(f"{name:<12} {str(result.success):>6} "
+              f"{result.count('CX'):>3} {result.infidelity:>11.2e} "
+              f"{result.instantiation_calls:>6} "
+              f"{result.engine_cache_hits:>5} "
+              f"{result.wall_seconds:>8.2f}")
+
+    # Compression: fit a deliberately deep ansatz to a 1-block target,
+    # then strip the redundancy (the Section II-B gate-deletion loop).
+    deep = build_qsearch_ansatz(2, 3, 2)
+    shallow = build_qsearch_ansatz(2, 1, 2)
+    compress_target = shallow.get_unitary(
+        np.random.default_rng(42).uniform(-np.pi, np.pi, shallow.num_params)
+    )
+    compressed = Resynthesizer(
+        starts=args.starts, pool=search.pool
+    ).resynthesize(deep, target=compress_target, rng=5)
+    print(f"\nresynthesis: {deep.num_operations} -> "
+          f"{compressed.circuit.num_operations} gates "
+          f"({deep.gate_counts().get('CX', 0)} -> "
+          f"{compressed.count('CX')} CX), "
+          f"{compressed.instantiation_calls} instantiation calls, "
+          f"{compressed.wall_seconds:.2f}s")
+
+    solved = sum(r["solved"] for r in rows)
+    report = {
+        "starts": args.starts,
+        "targets_total": len(rows),
+        "targets_solved": solved,
+        "instantiation_calls_total": sum(
+            r["instantiation_calls"] for r in rows
+        ),
+        "wall_seconds_total": sum(r["wall_seconds"] for r in rows),
+        "targets": rows,
+        "resynthesis": {
+            "operations_before": deep.num_operations,
+            "operations_after": compressed.circuit.num_operations,
+            "cx_before": deep.gate_counts().get("CX", 0),
+            "cx_after": compressed.count("CX"),
+            "solved": compressed.success,
+            "instantiation_calls": compressed.instantiation_calls,
+            "wall_seconds": compressed.wall_seconds,
+        },
+    }
+    print(f"\nsuite: {solved}/{len(rows)} targets solved, "
+          f"{report['instantiation_calls_total']} instantiation calls, "
+          f"{report['wall_seconds_total']:.2f}s synthesis wall time")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Synthesis-workload benchmarks: the engine driving a compiler pass.
+
+The paper's motivating workload (section II-B) is a synthesis loop
+calling ``instantiate()`` per candidate template.  These benchmarks
+time :class:`~repro.synthesis.SynthesisSearch` end-to-end on 2-qubit
+targets — QFT-2 and Haar-random unitaries — and the
+:class:`~repro.synthesis.Resynthesizer` compression loop, in two
+configurations per target:
+
+* ``cold`` — a fresh engine pool: every template shape pays AOT;
+* ``warm`` — a session-scoped shared pool: the steady-state cost of a
+  synthesis pass inside a longer compilation (pure instantiation).
+
+The gap between the two is the engine-pool amortization this PR adds
+on top of the batched multi-start sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_qft_circuit, build_qsearch_ansatz
+from repro.instantiation import EnginePool
+from repro.synthesis import Resynthesizer, SynthesisSearch
+from repro.utils import random_unitary
+
+TARGETS = {
+    "qft2": lambda: build_qft_circuit(2).get_unitary(()),
+    "random-su4": lambda: random_unitary(4, rng=1234),
+}
+
+
+@pytest.fixture(scope="module")
+def warm_pool():
+    pool = EnginePool()
+    # Pre-pay every template shape the searches below will visit.
+    SynthesisSearch(pool=pool).synthesize(random_unitary(4, rng=999), rng=0)
+    return pool
+
+
+def run_search(target: np.ndarray, pool: EnginePool | None) -> bool:
+    search = (
+        SynthesisSearch(pool=pool) if pool is not None else SynthesisSearch()
+    )
+    return search.synthesize(target, rng=7).success
+
+
+@pytest.mark.parametrize("name", list(TARGETS))
+def test_search_cold(benchmark, name):
+    benchmark.group = f"synthesis-{name}"
+    target = TARGETS[name]()
+    benchmark.pedantic(
+        run_search, args=(target, None), rounds=2, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", list(TARGETS))
+def test_search_warm_pool(benchmark, name, warm_pool):
+    benchmark.group = f"synthesis-{name}"
+    target = TARGETS[name]()
+    benchmark.pedantic(
+        run_search, args=(target, warm_pool), rounds=2, iterations=1
+    )
+
+
+def test_resynthesis_compression(benchmark, warm_pool):
+    benchmark.group = "synthesis-resynth"
+    deep = build_qsearch_ansatz(2, 3, 2)
+    shallow = build_qsearch_ansatz(2, 1, 2)
+    target = shallow.get_unitary(
+        np.random.default_rng(42).uniform(-np.pi, np.pi, shallow.num_params)
+    )
+
+    def compress() -> int:
+        result = Resynthesizer(pool=warm_pool).resynthesize(
+            deep, target=target, rng=3
+        )
+        assert result.success
+        return result.circuit.num_operations
+
+    benchmark.pedantic(compress, rounds=2, iterations=1)

@@ -2,18 +2,23 @@
 """Resynthesis: compress a QFT block into the native U3+CNOT gate set.
 
 This is the compiler workload OpenQudit accelerates (section II-B):
-a synthesis pass hands the instantiation engine a target unitary (here
-the 2-qubit QFT) and an ansatz in the hardware's native gate set; the
-engine finds parameters reproducing the target to machine precision.
-The paper's multi-start short-circuiting is visible in the printed
-start counts.
+the synthesis search hands the instantiation engine a target unitary
+(here the 2-qubit QFT) and candidate ansatz templates in the
+hardware's native gate set; the engine finds parameters reproducing
+the target to machine precision.  Where this example used to hand-roll
+a "try deeper ansatz until it fits" loop (and crashed with an
+UnboundLocalError when no depth fit), it now drives the
+`repro.synthesis` subsystem: `SynthesisSearch` explores templates
+depth by depth with pooled, batched engines, and `Resynthesizer` then
+compresses the hand-rolled deep ansatz by gate deletion +
+re-instantiation.
 
 Run:  python examples/qft_resynthesis.py
 """
 
 import numpy as np
 
-from repro import Instantiater
+from repro import Instantiater, Resynthesizer, SynthesisSearch
 from repro.circuit import build_qft_circuit, build_qsearch_ansatz
 from repro.utils import Statevector
 
@@ -25,23 +30,46 @@ def main() -> None:
     print(f"target: QFT-2, {len(qft)} gates "
           f"({', '.join(f'{k}x{v}' for k, v in qft.gate_counts().items())})")
 
-    # The ansatz: the native U3 + CNOT gate set, Figure 5 style.
-    for depth in (1, 2, 3):
-        ansatz = build_qsearch_ansatz(2, depth, 2)
-        engine = Instantiater(ansatz)
-        result = engine.instantiate(target, starts=8, rng=3)
-        status = "FOUND" if result.success else "no solution"
-        print(f"depth {depth}: {ansatz.gate_counts().get('CX', 0)} "
-              f"CNOTs, infidelity {result.infidelity:.2e} -> {status} "
-              f"({result.starts_used} starts, "
-              f"{result.optimize_seconds:.2f}s)")
-        if result.success:
-            best = ansatz, result
-            break
+    # Search bottom-up over U3 + CNOT templates; every candidate's
+    # 8 starts run through one batched engine sweep, and template
+    # shapes reuse pooled AOT compiles.
+    search = SynthesisSearch(heuristic="dijkstra", starts=8)
+    result = search.synthesize(target, rng=3)
+    status = "FOUND" if result.success else "no solution"
+    print(f"search: {result.count('CX')} CNOTs, "
+          f"{result.circuit.num_operations} gates, "
+          f"infidelity {result.infidelity:.2e} -> {status} "
+          f"({result.instantiation_calls} instantiation calls, "
+          f"{result.engine_cache_hits} engine-cache hits, "
+          f"{result.wall_seconds:.2f}s)")
+    if not result.success:
+        print("search exhausted its budget without a fit; "
+              "raise max_layers/max_expansions and retry.")
+        return
+
+    # The old hand-rolled loop's endpoint: a depth-3 ansatz that fits.
+    # Resynthesizer deletes gates while re-instantiation still reaches
+    # the target, compressing it to (at most) the search's gate count.
+    ansatz = build_qsearch_ansatz(2, 3, 2)
+    fit = Instantiater(ansatz, strategy="auto").instantiate(
+        target, starts=8, rng=3
+    )
+    print(f"\nhand-rolled depth-3 ansatz: "
+          f"{ansatz.gate_counts().get('CX', 0)} CNOTs, "
+          f"{ansatz.num_operations} gates, "
+          f"infidelity {fit.infidelity:.2e} "
+          f"({fit.starts_used} starts)")
+    compressed = Resynthesizer(starts=8).resynthesize(
+        ansatz, fit.params, rng=3
+    )
+    print(f"resynthesized:              "
+          f"{compressed.count('CX')} CNOTs, "
+          f"{compressed.circuit.num_operations} gates, "
+          f"infidelity {compressed.infidelity:.2e} "
+          f"({compressed.instantiation_calls} instantiation calls)")
 
     # Verify the synthesized circuit behaves like the QFT on states.
-    ansatz, result = best
-    synth = ansatz.get_unitary(result.params)
+    synth = result.circuit.get_unitary(result.params)
     rng = np.random.default_rng(0)
     worst = 1.0
     for _ in range(5):

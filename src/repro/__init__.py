@@ -43,12 +43,21 @@ from .circuit import (
 from .expression import UnitaryExpression
 from .instantiation import (
     BatchedInstantiater,
+    EnginePool,
     Instantiater,
     InstantiationResult,
     LMOptions,
     instantiate,
 )
 from .jit import ExpressionCache, global_cache
+from .synthesis import (
+    CustomLayerGenerator,
+    PartitionedSynthesizer,
+    QSearchLayerGenerator,
+    Resynthesizer,
+    SynthesisResult,
+    SynthesisSearch,
+)
 from .tensornet import compile_network
 from .tnvm import TNVM, BatchedTNVM, Differentiation
 from .utils import hilbert_schmidt_infidelity, random_unitary
@@ -66,9 +75,16 @@ __all__ = [
     "global_cache",
     "Instantiater",
     "BatchedInstantiater",
+    "EnginePool",
     "InstantiationResult",
     "LMOptions",
     "instantiate",
+    "SynthesisSearch",
+    "SynthesisResult",
+    "Resynthesizer",
+    "PartitionedSynthesizer",
+    "QSearchLayerGenerator",
+    "CustomLayerGenerator",
     "gates",
     "build_qft_circuit",
     "build_dtc_circuit",

@@ -58,6 +58,7 @@ class QuditCircuit:
         self._num_params = 0
         self._version = 0
         self._vm_cache: dict = {}
+        self._structure_cache: tuple[int, tuple] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -161,6 +162,175 @@ class QuditCircuit:
 
     def expression(self, ref: int) -> ExpressionMatrix:
         return self._expressions[ref]
+
+    # ------------------------------------------------------------------
+    # Template cloning and extension (the synthesis-candidate fast path)
+    # ------------------------------------------------------------------
+    def copy(self) -> "QuditCircuit":
+        """A mutation-independent clone sharing the expression table.
+
+        Expressions (and their canonical keys) are immutable, so the
+        clone reuses them by reference — every cached ``ref`` of this
+        circuit remains valid on the clone, which is what lets a
+        synthesis layer generator extend thousands of candidate copies
+        with O(1) ``append_ref`` calls and no re-validation.
+        """
+        clone = QuditCircuit(self.radices)
+        clone._expressions = list(self._expressions)
+        clone._expr_keys = dict(self._expr_keys)
+        clone._ops = list(self._ops)  # Operations are never mutated
+        clone._num_params = self._num_params
+        return clone
+
+    def structure_key(self) -> tuple:
+        """A hashable key identifying the circuit's *template shape*.
+
+        Two circuits share a key iff they have the same radices and the
+        same sequence of (expression, location, slot-binding) triples —
+        exactly the condition under which they AOT-compile to the same
+        TNVM program, so the key is what an engine pool caches on.
+        Parameter *values* are not part of a ``param`` slot's identity;
+        ``const`` slot values are (they are folded into the bytecode).
+        """
+        if self._structure_cache is not None:
+            version, key = self._structure_cache
+            if version == self._version:
+                return key
+        ref_keys = {ref: key for key, ref in self._expr_keys.items()}
+        key = (
+            self.radices,
+            tuple(
+                (
+                    ref_keys[op.ref],
+                    op.location,
+                    tuple(
+                        (s.kind, s.index if s.kind == "param" else s.value)
+                        for s in op.slots
+                    ),
+                )
+                for op in self._ops
+            ),
+        )
+        self._structure_cache = (self._version, key)
+        return key
+
+    def without_operation(
+        self, index: int
+    ) -> tuple["QuditCircuit", tuple[int, ...]]:
+        """Clone with the operation at ``index`` deleted.
+
+        Circuit parameters referenced only by the deleted gate vanish;
+        the survivors are renumbered compactly in first-use order.
+        Returns ``(circuit, kept)`` where ``kept[j]`` is the old index
+        of the clone's parameter ``j`` — ``old_params[list(kept)]`` is
+        the warm-start guess for re-instantiating the clone (the
+        Section II-B gate-deletion loop).
+        """
+        n = len(self._ops)
+        if not -n <= index < n:
+            raise IndexError(f"operation index {index} out of range")
+        if index < 0:
+            index += n
+        clone = QuditCircuit(self.radices)
+        clone._expressions = list(self._expressions)
+        clone._expr_keys = dict(self._expr_keys)
+        remap: dict[int, int] = {}
+        kept: list[int] = []
+        for i, op in enumerate(self._ops):
+            if i == index:
+                continue
+            slots = []
+            for s in op.slots:
+                if s.kind == "param":
+                    j = remap.get(s.index)
+                    if j is None:
+                        j = len(kept)
+                        remap[s.index] = j
+                        kept.append(s.index)
+                    slots.append(ParamSlot.param(j))
+                else:
+                    slots.append(s)
+            clone._ops.append(Operation(op.ref, op.location, tuple(slots)))
+        clone._num_params = len(kept)
+        clone._version = len(clone._ops)
+        return clone, tuple(kept)
+
+    def append_circuit(
+        self,
+        other: "QuditCircuit",
+        location: Sequence[int] | None = None,
+        params: Sequence[float] | None = None,
+    ) -> tuple[int, ...]:
+        """Append every operation of ``other`` at mapped wire locations.
+
+        ``location[q]`` names the wire of *this* circuit that ``other``'s
+        wire ``q`` lands on (identity when omitted).  With ``params``
+        omitted, ``other``'s parameterized slots are re-allocated as
+        fresh parameters of this circuit (sharing structure preserved)
+        and the return value maps each new parameter back to ``other``'s
+        parameter index; with ``params`` given, they are bound to those
+        constant values instead (and ``()`` is returned).  This is the
+        stitching primitive the partitioned synthesizer uses to mount a
+        synthesized window back onto the wide circuit.
+        """
+        if location is None:
+            location = tuple(range(other.num_qudits))
+        location = tuple(int(q) for q in location)
+        if len(location) != other.num_qudits:
+            raise ValueError(
+                f"location maps {len(location)} wires, other circuit "
+                f"has {other.num_qudits}"
+            )
+        if params is not None and len(params) != other.num_params:
+            raise ValueError(
+                f"params has {len(params)} values, other circuit "
+                f"has {other.num_params} parameters"
+            )
+        # Validate every mapped location up front so a failure cannot
+        # leave this circuit with a partially appended (corrupt) tail.
+        for op in other._ops:
+            expr = other._expressions[op.ref]
+            mapped = tuple(location[w] for w in op.location)
+            if len(set(mapped)) != len(mapped):
+                raise ValueError(
+                    f"location mapping sends operation at {op.location} "
+                    f"to repeated wire(s) {mapped}"
+                )
+            for q, r in zip(mapped, expr.radices):
+                if not 0 <= q < self.num_qudits:
+                    raise ValueError(f"qudit {q} out of range")
+                if self.radices[q] != r:
+                    raise ValueError(
+                        f"gate radix {r} incompatible with wire {q} "
+                        f"(radix {self.radices[q]})"
+                    )
+        ref_map: dict[int, int] = {}
+        remap: dict[int, int] = {}
+        added: list[int] = []
+        for op in other._ops:
+            ref = ref_map.get(op.ref)
+            if ref is None:
+                # Already validated when cached into ``other``.
+                ref = self.cache_operation(other._expressions[op.ref], check=False)
+                ref_map[op.ref] = ref
+            slots = []
+            for s in op.slots:
+                if s.kind != "param":
+                    slots.append(s)
+                elif params is not None:
+                    slots.append(ParamSlot.const(params[s.index]))
+                else:
+                    j = remap.get(s.index)
+                    if j is None:
+                        j = self._num_params + len(added)
+                        remap[s.index] = j
+                        added.append(s.index)
+                    slots.append(ParamSlot.param(j))
+            mapped = tuple(location[q] for q in op.location)
+            self._ops.append(Operation(ref, mapped, tuple(slots)))
+            self._version += 1
+        self._num_params += len(added)
+        return tuple(added)
 
     # ------------------------------------------------------------------
     # Appending gates

@@ -21,10 +21,12 @@ from .lm import (
     batched_levenberg_marquardt,
     levenberg_marquardt,
 )
+from .pool import EnginePool
 
 __all__ = [
     "Instantiater",
     "BatchedInstantiater",
+    "EnginePool",
     "InstantiationResult",
     "instantiate",
     "STRATEGIES",

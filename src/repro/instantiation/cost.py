@@ -72,7 +72,9 @@ class HilbertSchmidtResiduals:
         u, grad = self.vm.evaluate_with_grad(tuple(params))
         diff = u - self._aligned_target(u)
         r = np.concatenate([diff.real.ravel(), diff.imag.ravel()])
-        flat = grad.reshape(self.num_params, -1)
+        # Explicit column count: reshape(0, -1) is invalid, and a
+        # constant circuit's Jacobian is the empty (2D^2, 0) matrix.
+        flat = grad.reshape(self.num_params, self.dim * self.dim)
         jac = np.concatenate([flat.real, flat.imag], axis=1).T
         return r, np.ascontiguousarray(jac)
 
@@ -135,7 +137,7 @@ class BatchedHilbertSchmidtResiduals:
         r = np.concatenate(
             [diff.real.reshape(b, -1), diff.imag.reshape(b, -1)], axis=1
         )
-        flat = grad.reshape(b, self.num_params, -1)
+        flat = grad.reshape(b, self.num_params, self.dim * self.dim)
         jac = np.concatenate([flat.real, flat.imag], axis=2).transpose(
             0, 2, 1
         )

@@ -1,0 +1,99 @@
+"""An LRU pool of :class:`Instantiater` engines keyed by circuit structure.
+
+Synthesis workloads instantiate *many* circuits that share one template
+shape: every frontier candidate of a search round, every gate-deletion
+variant of a compression pass.  Each distinct shape costs an AOT
+compile (tensor-network lowering, pathfinding, bytecode generation,
+TNVM setup) that dwarfs the optimization itself on small templates —
+the pool pays it once per shape and hands the compiled engine back for
+every structurally identical candidate after that.
+
+The key is :meth:`QuditCircuit.structure_key`: radices plus the
+sequence of (expression, location, slot-binding) triples, exactly the
+information the AOT compiler consumes.  Hit/miss counters feed the
+``engine_cache_hits``/``engine_cache_misses`` fields of
+:class:`~repro.synthesis.SynthesisResult`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..circuit.circuit import QuditCircuit
+from ..jit.cache import ExpressionCache
+from .instantiater import SUCCESS_THRESHOLD, Instantiater
+from .lm import LMOptions
+
+__all__ = ["EnginePool"]
+
+
+class EnginePool:
+    """Least-recently-used cache of reusable instantiation engines.
+
+    Engines are constructed with the pool's settings (strategy,
+    precision, threshold, LM options); a pooled engine serves *any*
+    circuit whose :meth:`~QuditCircuit.structure_key` matches, because
+    structurally identical circuits compile to the same TNVM program
+    and a solution's parameters mean the same thing on either.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        strategy: str = "auto",
+        precision: str = "f64",
+        cache: ExpressionCache | None = None,
+        success_threshold: float = SUCCESS_THRESHOLD,
+        lm_options: LMOptions | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.strategy = strategy
+        self.precision = precision
+        self.cache = cache
+        self.success_threshold = success_threshold
+        self.lm_options = lm_options
+        self.hits = 0
+        self.misses = 0
+        self._engines: OrderedDict[tuple, Instantiater] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def engine_for(self, circuit: QuditCircuit) -> Instantiater:
+        """The pooled engine for ``circuit``'s template shape.
+
+        A hit moves the engine to the front of the LRU order; a miss
+        AOT-compiles a fresh engine and may evict the least recently
+        used one to stay within ``capacity``.
+        """
+        key = circuit.structure_key()
+        engine = self._engines.get(key)
+        if engine is not None:
+            self._engines.move_to_end(key)
+            self.hits += 1
+            return engine
+        self.misses += 1
+        engine = Instantiater(
+            circuit,
+            precision=self.precision,
+            cache=self.cache,
+            success_threshold=self.success_threshold,
+            lm_options=self.lm_options,
+            strategy=self.strategy,
+        )
+        self._engines[key] = engine
+        while len(self._engines) > self.capacity:
+            self._engines.popitem(last=False)
+        return engine
+
+    def clear(self) -> None:
+        """Drop all pooled engines (counters are preserved)."""
+        self._engines.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<EnginePool {len(self._engines)}/{self.capacity} engines, "
+            f"{self.hits} hits, {self.misses} misses>"
+        )

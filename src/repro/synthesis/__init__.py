@@ -1,0 +1,25 @@
+"""Search-based circuit synthesis driven by the instantiation engine.
+
+The first compiler workload built *above* the engine (paper section
+II-B): bottom-up template search (:class:`SynthesisSearch`), circuit
+compression (:class:`Resynthesizer`), and window-partitioned scaling
+(:class:`PartitionedSynthesizer`), all running their inner loops
+through pooled, batched :class:`~repro.instantiation.Instantiater`
+engines.
+"""
+
+from .layers import CustomLayerGenerator, LayerGenerator, QSearchLayerGenerator
+from .result import SynthesisResult
+from .resynth import PartitionedSynthesizer, Resynthesizer
+from .search import SynthesisSearch, infer_radices
+
+__all__ = [
+    "LayerGenerator",
+    "QSearchLayerGenerator",
+    "CustomLayerGenerator",
+    "SynthesisResult",
+    "SynthesisSearch",
+    "Resynthesizer",
+    "PartitionedSynthesizer",
+    "infer_radices",
+]

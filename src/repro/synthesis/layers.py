@@ -1,0 +1,242 @@
+"""Layer generators: the template grammar a synthesis search explores.
+
+A :class:`LayerGenerator` defines the search space bottom-up, QSearch
+style: :meth:`~LayerGenerator.initial` produces the root template (a
+single-qudit gate on every wire) and :meth:`~LayerGenerator.successors`
+extends a template by one entangling block per allowed coupling —
+entangler on the pair, then a single-qudit gate on each touched wire.
+
+Expansion is O(1) per gate: the generator caches each gate expression
+into the root circuit once (paying validation and canonical-key
+hashing there), remembers the integer refs, and — because
+:meth:`QuditCircuit.copy` shares the expression table — extends every
+descendant candidate with plain ``append_ref`` calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Protocol, Sequence, runtime_checkable
+
+from ..circuit import gates
+from ..circuit.circuit import QuditCircuit
+from ..expression import UnitaryExpression
+from ..symbolic.matrix import ExpressionMatrix
+
+__all__ = [
+    "LayerGenerator",
+    "QSearchLayerGenerator",
+    "CustomLayerGenerator",
+]
+
+
+@runtime_checkable
+class LayerGenerator(Protocol):
+    """The template grammar contract consumed by the search passes."""
+
+    def initial(self, radices: Sequence[int]) -> QuditCircuit:
+        """The root template for a circuit with the given radices."""
+        ...
+
+    def successors(self, circuit: QuditCircuit) -> Iterator[QuditCircuit]:
+        """One-layer extensions of a template produced by this
+        generator (or a :meth:`QuditCircuit.copy` descendant of one)."""
+        ...
+
+
+def _as_matrix(
+    expression: UnitaryExpression | ExpressionMatrix,
+) -> ExpressionMatrix:
+    if isinstance(expression, UnitaryExpression):
+        return expression.matrix
+    return expression
+
+
+class _BlockLayerGenerator:
+    """Shared machinery: per-radix singles, entangler blocks, O(1) refs."""
+
+    def __init__(self, couplings: Sequence[tuple[int, int]] | None = None):
+        self._couplings = (
+            None
+            if couplings is None
+            else tuple((int(a), int(b)) for a, b in couplings)
+        )
+        # id(ExpressionMatrix) -> ref in the root's expression table.
+        # Valid for every copy() descendant of a root built by this
+        # generator; foreign circuits fall back to cache_operation.
+        self._ref_hints: dict[int, int] = {}
+
+    # Subclasses provide the gate set ------------------------------------
+    def single_for(self, radix: int) -> ExpressionMatrix:
+        raise NotImplementedError
+
+    def entanglers_for(
+        self, radix_a: int, radix_b: int
+    ) -> Sequence[ExpressionMatrix]:
+        raise NotImplementedError
+
+    # --------------------------------------------------------------------
+    def pairs(self, radices: Sequence[int]) -> list[tuple[int, int]]:
+        """The couplings explored on a circuit of these radices."""
+        n = len(radices)
+        if self._couplings is not None:
+            for a, b in self._couplings:
+                if not (0 <= a < n and 0 <= b < n) or a == b:
+                    raise ValueError(f"invalid coupling ({a}, {b})")
+            return list(self._couplings)
+        return [(a, b) for a in range(n) for b in range(a + 1, n)]
+
+    def _ref(self, circuit: QuditCircuit, matrix: ExpressionMatrix) -> int:
+        ref = self._ref_hints.get(id(matrix))
+        if ref is not None:
+            try:
+                if circuit.expression(ref) is matrix:
+                    return ref
+            except IndexError:
+                pass
+        ref = circuit.cache_operation(matrix)
+        self._ref_hints[id(matrix)] = ref
+        return ref
+
+    def initial(self, radices: Sequence[int]) -> QuditCircuit:
+        circuit = QuditCircuit(radices)
+        for q, radix in enumerate(circuit.radices):
+            circuit.append_ref(self._ref(circuit, self.single_for(radix)), q)
+        # Warm the entangler refs on the root so every descendant copy
+        # inherits them and successor expansion never re-hashes.
+        for a, b in self.pairs(circuit.radices):
+            for ent in self.entanglers_for(
+                circuit.radices[a], circuit.radices[b]
+            ):
+                self._ref(circuit, ent)
+        return circuit
+
+    def successors(self, circuit: QuditCircuit) -> Iterator[QuditCircuit]:
+        for a, b in self.pairs(circuit.radices):
+            ra, rb = circuit.radices[a], circuit.radices[b]
+            for ent in self.entanglers_for(ra, rb):
+                child = circuit.copy()
+                child.append_ref(self._ref(child, ent), (a, b))
+                child.append_ref(self._ref(child, self.single_for(ra)), a)
+                child.append_ref(self._ref(child, self.single_for(rb)), b)
+                yield child
+
+
+class QSearchLayerGenerator(_BlockLayerGenerator):
+    """The default QSearch-style gate set, chosen per wire radix.
+
+    Qubits get U3 + CNOT (the paper's Figure 5 family), qutrits the
+    two-parameter phase gate + CSUM, and higher radices an embedded U3
+    + CSUM — mirroring :func:`repro.circuit.build_qsearch_ansatz`, so a
+    depth-``d`` search node is exactly ``build_qsearch_ansatz``'s
+    ansatz with ``d`` blocks placed freely instead of on a chain.
+    Mixed-radix pairs have no default entangler and are skipped unless
+    explicit ``couplings`` exclude them anyway.
+    """
+
+    def __init__(
+        self,
+        single: UnitaryExpression | ExpressionMatrix | None = None,
+        entangler: UnitaryExpression | ExpressionMatrix | None = None,
+        couplings: Sequence[tuple[int, int]] | None = None,
+    ):
+        super().__init__(couplings)
+        self._single = None if single is None else _as_matrix(single)
+        self._entangler = None if entangler is None else _as_matrix(entangler)
+        if self._single is not None and self._single.num_qudits != 1:
+            raise ValueError("single-qudit gate must act on 1 qudit")
+        if self._entangler is not None and self._entangler.num_qudits != 2:
+            raise ValueError("entangler must act on 2 qudits")
+
+    def single_for(self, radix: int) -> ExpressionMatrix:
+        if self._single is not None:
+            if self._single.radices[0] != radix:
+                raise ValueError(
+                    f"single-qudit gate has radix {self._single.radices[0]}, "
+                    f"wire has radix {radix}"
+                )
+            return self._single
+        if radix == 2:
+            return gates.u3().matrix
+        if radix == 3:
+            return gates.qutrit_phase().matrix
+        return gates.embedded_u3(radix, 0, 1).matrix
+
+    def entanglers_for(
+        self, radix_a: int, radix_b: int
+    ) -> Sequence[ExpressionMatrix]:
+        if self._entangler is not None:
+            if tuple(self._entangler.radices) != (radix_a, radix_b):
+                return ()
+            return (self._entangler,)
+        if radix_a != radix_b:
+            return ()  # no default entangler across radices
+        if radix_a == 2:
+            return (gates.cx().matrix,)
+        return (gates.csum(radix_a).matrix,)
+
+
+class CustomLayerGenerator(_BlockLayerGenerator):
+    """A gate set built from arbitrary :class:`UnitaryExpression`\\ s.
+
+    ``single`` is one expression (applied to every wire) or a mapping
+    from radix to expression; ``entanglers`` is any number of two-qudit
+    expressions — each coupling is expanded once per radix-compatible
+    entangler, so richer native gate sets widen the branching factor
+    rather than requiring a new generator class.
+    """
+
+    def __init__(
+        self,
+        single: (
+            UnitaryExpression
+            | ExpressionMatrix
+            | Mapping[int, UnitaryExpression | ExpressionMatrix]
+        ),
+        entanglers: (
+            UnitaryExpression
+            | ExpressionMatrix
+            | Sequence[UnitaryExpression | ExpressionMatrix]
+        ),
+        couplings: Sequence[tuple[int, int]] | None = None,
+    ):
+        super().__init__(couplings)
+        if isinstance(single, Mapping):
+            self._singles = {
+                int(r): _as_matrix(e) for r, e in single.items()
+            }
+        else:
+            m = _as_matrix(single)
+            self._singles = {m.radices[0]: m}
+        for radix, m in self._singles.items():
+            if m.num_qudits != 1 or m.radices[0] != radix:
+                raise ValueError(
+                    f"single-qudit gate for radix {radix} must act on "
+                    f"one radix-{radix} qudit"
+                )
+        if isinstance(entanglers, (UnitaryExpression, ExpressionMatrix)):
+            entanglers = (entanglers,)
+        self._entanglers = tuple(_as_matrix(e) for e in entanglers)
+        if not self._entanglers:
+            raise ValueError("at least one entangler is required")
+        for m in self._entanglers:
+            if m.num_qudits != 2:
+                raise ValueError(
+                    f"entangler {m.name or '?'} must act on 2 qudits"
+                )
+
+    def single_for(self, radix: int) -> ExpressionMatrix:
+        try:
+            return self._singles[radix]
+        except KeyError:
+            raise ValueError(
+                f"gate set has no single-qudit gate for radix {radix}"
+            ) from None
+
+    def entanglers_for(
+        self, radix_a: int, radix_b: int
+    ) -> Sequence[ExpressionMatrix]:
+        return tuple(
+            m
+            for m in self._entanglers
+            if tuple(m.radices) == (radix_a, radix_b)
+        )

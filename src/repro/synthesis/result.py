@@ -1,0 +1,55 @@
+"""The synthesis report shared by every pass in :mod:`repro.synthesis`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit.circuit import QuditCircuit
+
+__all__ = ["SynthesisResult"]
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis, resynthesis, or partitioned pass.
+
+    ``instantiation_calls`` counts inner-loop engine invocations (the
+    quantity the paper's fast instantiation multiplies out), and the
+    ``engine_cache_*`` counters report how often the structure-keyed
+    :class:`~repro.instantiation.EnginePool` skipped an AOT compile.
+    ``nodes_expanded`` is the number of search states examined — frontier
+    expansions for :class:`~repro.synthesis.SynthesisSearch`, deletion
+    candidates for :class:`~repro.synthesis.Resynthesizer`, windows for
+    :class:`~repro.synthesis.PartitionedSynthesizer`.
+    """
+
+    circuit: QuditCircuit
+    params: np.ndarray
+    infidelity: float
+    success: bool
+    instantiation_calls: int = 0
+    engine_cache_hits: int = 0
+    engine_cache_misses: int = 0
+    nodes_expanded: int = 0
+    wall_seconds: float = 0.0
+    #: Per-window reports for partitioned passes (empty otherwise).
+    windows: list["SynthesisResult"] = field(default_factory=list)
+
+    @property
+    def gate_counts(self) -> dict[str, int]:
+        return self.circuit.gate_counts()
+
+    def count(self, gate_name: str) -> int:
+        """Occurrences of a gate by name (e.g. ``"CX"``)."""
+        return self.gate_counts.get(gate_name, 0)
+
+    def __repr__(self) -> str:
+        status = "success" if self.success else "FAILED"
+        return (
+            f"<SynthesisResult {status} infidelity={self.infidelity:.3e} "
+            f"ops={self.circuit.num_operations} "
+            f"calls={self.instantiation_calls} "
+            f"wall={self.wall_seconds:.2f}s>"
+        )

@@ -1,0 +1,272 @@
+"""Resynthesis passes: compression and window-partitioned synthesis.
+
+:class:`Resynthesizer` is the paper's Section II-B compression loop —
+delete a gate, re-instantiate the remainder against the original
+unitary, keep the deletion if the fit still reaches threshold — the
+workload whose "hundreds of instantiation calls per target" motivates
+the engine's amortized AOT + batched multi-start design.
+
+:class:`PartitionedSynthesizer` scales synthesis past direct search by
+walking a wide circuit left-to-right in windows of at most ``window``
+qudits, synthesizing each window's unitary with a
+:class:`~repro.synthesis.SynthesisSearch`, and stitching the results
+back onto the full register with
+:meth:`QuditCircuit.append_circuit`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.circuit import Operation, QuditCircuit
+from ..instantiation.instantiater import SUCCESS_THRESHOLD
+from ..instantiation.lm import LMOptions
+from ..instantiation.pool import EnginePool
+from ..utils.unitary import hilbert_schmidt_infidelity
+from .result import SynthesisResult
+from .search import SynthesisSearch, _pooled_fit, _resolve_pool
+
+__all__ = ["Resynthesizer", "PartitionedSynthesizer"]
+
+
+class Resynthesizer:
+    """Gate-deletion compression against a fixed target unitary.
+
+    Each pass scans the circuit back-to-front, tentatively deleting one
+    gate and re-instantiating the survivors (warm-started at their
+    current values) against the target; the first deletion that still
+    fits is kept and the scan restarts.  The engine pool makes repeat
+    shapes — common once several gates have been removed from a regular
+    template — reuse their AOT compile.
+    """
+
+    def __init__(
+        self,
+        success_threshold: float = SUCCESS_THRESHOLD,
+        starts: int = 8,
+        strategy: str | None = None,
+        precision: str | None = None,
+        lm_options: LMOptions | None = None,
+        pool: EnginePool | None = None,
+        max_passes: int | None = None,
+    ):
+        self.success_threshold = success_threshold
+        self.starts = starts
+        self.max_passes = max_passes
+        self.pool = _resolve_pool(
+            pool, success_threshold, strategy, precision, lm_options
+        )
+
+    def _fit(
+        self,
+        circuit: QuditCircuit,
+        target: np.ndarray,
+        rng: np.random.Generator,
+        x0: np.ndarray | None,
+        counters: dict,
+    ) -> tuple[np.ndarray, float]:
+        return _pooled_fit(
+            self.pool, circuit, target, self.starts, rng, x0, counters
+        )
+
+    def resynthesize(
+        self,
+        circuit: QuditCircuit,
+        params: Sequence[float] = (),
+        target: np.ndarray | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> SynthesisResult:
+        """Compress ``circuit`` while preserving its unitary.
+
+        ``target`` defaults to the circuit's own unitary at ``params``
+        (resynthesis); pass an explicit target to compress toward a
+        different unitary the circuit is known to reach.
+        """
+        t0 = time.perf_counter()
+        params = np.asarray(params, dtype=np.float64)
+        if target is None:
+            target = circuit.get_unitary(params)
+        rng = np.random.default_rng(rng)
+        hits0, misses0 = self.pool.hits, self.pool.misses
+        counters = {"calls": 0, "examined": 0}
+
+        current = circuit.copy()
+        x0 = params if len(params) == current.num_params else None
+        cur_params, cur_inf = self._fit(current, target, rng, x0, counters)
+
+        improved = cur_inf <= self.success_threshold
+        passes = 0
+        while improved and (
+            self.max_passes is None or passes < self.max_passes
+        ):
+            improved = False
+            passes += 1
+            for i in reversed(range(current.num_operations)):
+                if current.num_operations <= 1:
+                    break
+                candidate, kept = current.without_operation(i)
+                counters["examined"] += 1
+                cand_params, cand_inf = self._fit(
+                    candidate,
+                    target,
+                    rng,
+                    cur_params[list(kept)],
+                    counters,
+                )
+                if cand_inf <= self.success_threshold:
+                    current, cur_params, cur_inf = (
+                        candidate,
+                        cand_params,
+                        cand_inf,
+                    )
+                    improved = True
+                    break  # rescan the shorter circuit
+
+        return SynthesisResult(
+            circuit=current,
+            params=cur_params,
+            infidelity=cur_inf,
+            success=cur_inf <= self.success_threshold,
+            instantiation_calls=counters["calls"],
+            engine_cache_hits=self.pool.hits - hits0,
+            engine_cache_misses=self.pool.misses - misses0,
+            nodes_expanded=counters["examined"],
+            wall_seconds=time.perf_counter() - t0,
+        )
+
+
+class PartitionedSynthesizer:
+    """Window-partitioned resynthesis for circuits too wide to search.
+
+    Operations are grouped left-to-right into contiguous blocks whose
+    wires fit in ``window`` qudits (a greedy linear partition); each
+    block's unitary is synthesized independently by ``search`` and the
+    solutions are stitched back in order, which reproduces the original
+    circuit exactly because consecutive blocks are appended in the
+    original operation order.  A window the search cannot solve falls
+    back to its original gates, so the pass never breaks the circuit.
+    """
+
+    def __init__(
+        self,
+        search: SynthesisSearch | None = None,
+        window: int = 3,
+    ):
+        if window < 2:
+            raise ValueError("window must span at least 2 qudits")
+        self.search = search or SynthesisSearch()
+        self.window = window
+
+    def _partition(
+        self, circuit: QuditCircuit
+    ) -> list[tuple[tuple[int, ...], list[Operation]]]:
+        blocks: list[tuple[tuple[int, ...], list[Operation]]] = []
+        qudits: set[int] = set()
+        ops: list[Operation] = []
+        for op in circuit:
+            loc = set(op.location)
+            if len(loc) > self.window:
+                raise ValueError(
+                    f"gate on {sorted(loc)} is wider than the "
+                    f"{self.window}-qudit window"
+                )
+            if ops and len(qudits | loc) > self.window:
+                blocks.append((tuple(sorted(qudits)), ops))
+                qudits, ops = set(), []
+            qudits |= loc
+            ops.append(op)
+        if ops:
+            blocks.append((tuple(sorted(qudits)), ops))
+        return blocks
+
+    @staticmethod
+    def _block_circuit(
+        circuit: QuditCircuit,
+        wires: tuple[int, ...],
+        ops: list[Operation],
+        params: np.ndarray,
+    ) -> QuditCircuit:
+        """The block as a standalone constant circuit on its own wires."""
+        sub = QuditCircuit([circuit.radices[q] for q in wires])
+        wire_map = {q: i for i, q in enumerate(wires)}
+        for op in ops:
+            ref = sub.cache_operation(circuit.expression(op.ref), check=False)
+            values = [
+                params[s.index] if s.kind == "param" else s.value
+                for s in op.slots
+            ]
+            sub.append_ref_constant(
+                ref, tuple(wire_map[q] for q in op.location), values
+            )
+        return sub
+
+    def synthesize_circuit(
+        self,
+        circuit: QuditCircuit,
+        params: Sequence[float] = (),
+        rng: np.random.Generator | int | None = None,
+    ) -> SynthesisResult:
+        """Re-express ``circuit`` (at ``params``) window by window in
+        the search's gate set."""
+        t0 = time.perf_counter()
+        params = np.asarray(params, dtype=np.float64)
+        if len(params) != circuit.num_params:
+            raise ValueError(
+                f"expected {circuit.num_params} parameter values, "
+                f"got {len(params)}"
+            )
+        rng = np.random.default_rng(rng)
+
+        out = QuditCircuit(circuit.radices)
+        out_params: list[float] = []
+        windows: list[SynthesisResult] = []
+        all_solved = True
+        for wires, ops in self._partition(circuit):
+            sub = self._block_circuit(circuit, wires, ops, params)
+            result = self.search.synthesize(
+                sub.get_unitary(()),
+                radices=sub.radices,
+                rng=int(rng.integers(2**32)),
+            )
+            windows.append(result)
+            if result.success:
+                added = out.append_circuit(result.circuit, location=wires)
+                out_params.extend(result.params[j] for j in added)
+            else:
+                # Fall back to the original gates for this window.
+                all_solved = False
+                for op, sub_op in zip(ops, sub):
+                    ref = out.cache_operation(
+                        circuit.expression(op.ref), check=False
+                    )
+                    out.append_ref_constant(
+                        ref,
+                        op.location,
+                        [s.value for s in sub_op.slots],
+                    )
+
+        final_params = np.asarray(out_params, dtype=np.float64)
+        infidelity = (
+            hilbert_schmidt_infidelity(
+                circuit.get_unitary(params), out.get_unitary(final_params)
+            )
+            if len(out)
+            else 0.0
+        )
+        return SynthesisResult(
+            circuit=out,
+            params=final_params,
+            infidelity=infidelity,
+            success=all_solved
+            and infidelity
+            <= self.search.success_threshold * max(1, len(windows)),
+            instantiation_calls=sum(w.instantiation_calls for w in windows),
+            engine_cache_hits=sum(w.engine_cache_hits for w in windows),
+            engine_cache_misses=sum(w.engine_cache_misses for w in windows),
+            nodes_expanded=sum(w.nodes_expanded for w in windows),
+            wall_seconds=time.perf_counter() - t0,
+            windows=windows,
+        )

@@ -1,0 +1,204 @@
+"""Tests for the template cloning/extension helpers used by synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuditCircuit, build_qsearch_ansatz, gates
+from repro.utils import hilbert_schmidt_infidelity
+
+
+def u3_pair() -> QuditCircuit:
+    circ = QuditCircuit.qubits(2)
+    u3 = circ.cache_operation(gates.u3())
+    circ.append_ref(u3, 0)
+    circ.append_ref(u3, 1)
+    return circ
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        circ = u3_pair()
+        clone = circ.copy()
+        cx = clone.cache_operation(gates.cx())
+        clone.append_ref(cx, (0, 1))
+        assert circ.num_operations == 2
+        assert clone.num_operations == 3
+        assert circ.num_params == 6
+        assert clone.num_params == 6  # CX adds no params
+
+    def test_copy_shares_expression_refs(self):
+        circ = u3_pair()
+        ref = circ.cache_operation(gates.cx())
+        clone = circ.copy()
+        # The cached ref is valid on the clone without re-validation.
+        assert clone.expression(ref) is circ.expression(ref)
+        assert clone.cache_operation(gates.cx()) == ref
+
+    def test_copy_preserves_unitary(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        p = np.random.default_rng(0).uniform(-1, 1, circ.num_params)
+        assert np.allclose(circ.get_unitary(p), circ.copy().get_unitary(p))
+
+
+class TestStructureKey:
+    def test_identically_built_circuits_share_key(self):
+        assert u3_pair().structure_key() == u3_pair().structure_key()
+        assert (
+            build_qsearch_ansatz(2, 3, 2).structure_key()
+            == build_qsearch_ansatz(2, 3, 2).structure_key()
+        )
+
+    def test_location_changes_key(self):
+        a = QuditCircuit.qubits(2)
+        b = QuditCircuit.qubits(2)
+        ra = a.cache_operation(gates.u3())
+        rb = b.cache_operation(gates.u3())
+        a.append_ref(ra, 0)
+        b.append_ref(rb, 1)
+        assert a.structure_key() != b.structure_key()
+
+    def test_const_value_changes_key(self):
+        # Constants are folded into the AOT program, so they are part
+        # of the template identity; fresh params are not.
+        a = QuditCircuit.qubits(1)
+        b = QuditCircuit.qubits(1)
+        ra = a.cache_operation(gates.rx())
+        rb = b.cache_operation(gates.rx())
+        a.append_ref_constant(ra, 0, (0.5,))
+        b.append_ref_constant(rb, 0, (0.7,))
+        assert a.structure_key() != b.structure_key()
+
+    def test_key_tracks_appends(self):
+        circ = u3_pair()
+        key1 = circ.structure_key()
+        circ.append_ref(circ.cache_operation(gates.cx()), (0, 1))
+        assert circ.structure_key() != key1
+
+    def test_copy_has_same_key(self):
+        circ = build_qsearch_ansatz(3, 2, 2)
+        assert circ.copy().structure_key() == circ.structure_key()
+
+
+class TestWithoutOperation:
+    def test_removes_gate_and_renumbers(self):
+        circ = build_qsearch_ansatz(2, 1, 2)  # U3 U3 CX U3 U3
+        smaller, kept = circ.without_operation(2)  # drop the CX
+        assert smaller.num_operations == 4
+        assert smaller.num_params == circ.num_params
+        assert kept == tuple(range(circ.num_params))
+
+    def test_param_remap_preserves_semantics(self):
+        circ = build_qsearch_ansatz(2, 1, 2)
+        p = np.random.default_rng(1).uniform(-np.pi, np.pi, circ.num_params)
+        # Deleting the *last* gate: survivors keep their values.
+        smaller, kept = circ.without_operation(-1)
+        sub = p[list(kept)]
+        ref = QuditCircuit.qubits(2)
+        u3 = ref.cache_operation(gates.u3())
+        cx = ref.cache_operation(gates.cx())
+        ref.append_ref(u3, 0)
+        ref.append_ref(u3, 1)
+        ref.append_ref(cx, (0, 1))
+        ref.append_ref(u3, 0)
+        assert (
+            hilbert_schmidt_infidelity(
+                ref.get_unitary(sub), smaller.get_unitary(sub)
+            )
+            < 1e-12
+        )
+
+    def test_negative_and_out_of_range(self):
+        circ = u3_pair()
+        smaller, kept = circ.without_operation(-2)
+        assert smaller.num_operations == 1
+        assert kept == (3, 4, 5)  # wire-1 gate's params survive
+        with pytest.raises(IndexError):
+            circ.without_operation(2)
+        with pytest.raises(IndexError):
+            circ.without_operation(-3)
+
+    def test_original_untouched(self):
+        circ = u3_pair()
+        circ.without_operation(0)
+        assert circ.num_operations == 2
+        assert circ.num_params == 6
+
+
+class TestAppendCircuit:
+    def test_identity_mapping_fresh_params(self):
+        a = u3_pair()
+        b = build_qsearch_ansatz(2, 1, 2)
+        added = a.append_circuit(b)
+        assert len(added) == b.num_params
+        assert a.num_params == 6 + b.num_params
+        assert a.num_operations == 2 + b.num_operations
+
+    def test_values_bound_as_constants(self):
+        ansatz = build_qsearch_ansatz(2, 1, 2)
+        p = np.random.default_rng(2).uniform(-np.pi, np.pi, ansatz.num_params)
+        host = QuditCircuit.qubits(2)
+        added = host.append_circuit(ansatz, params=p)
+        assert added == ()
+        assert host.num_params == 0
+        assert (
+            hilbert_schmidt_infidelity(
+                ansatz.get_unitary(p), host.get_unitary(())
+            )
+            < 1e-12
+        )
+
+    def test_wire_mapping(self):
+        block = QuditCircuit.qubits(2)
+        cx = block.cache_operation(gates.cx())
+        block.append_ref_constant(cx, (0, 1))
+        host = QuditCircuit.qubits(3)
+        host.append_circuit(block, location=(2, 0))
+        op = next(iter(host))
+        assert op.location == (2, 0)
+
+    def test_fresh_param_mapping_roundtrip(self):
+        block = build_qsearch_ansatz(2, 1, 2)
+        p = np.random.default_rng(3).uniform(-np.pi, np.pi, block.num_params)
+        host = QuditCircuit.qubits(2)
+        added = host.append_circuit(block)
+        host_params = np.empty(host.num_params)
+        for j, src in enumerate(added):
+            host_params[j] = p[src]
+        assert (
+            hilbert_schmidt_infidelity(
+                block.get_unitary(p), host.get_unitary(host_params)
+            )
+            < 1e-12
+        )
+
+    def test_validation(self):
+        host = QuditCircuit.qubits(2)
+        block = u3_pair()
+        with pytest.raises(ValueError):
+            host.append_circuit(block, location=(0,))
+        with pytest.raises(ValueError):
+            host.append_circuit(block, params=np.zeros(1))
+        qutrit = QuditCircuit.qutrits(1)
+        qutrit.append(gates.qutrit_phase(), 0)
+        with pytest.raises(ValueError):
+            host.append_circuit(qutrit, location=(0,))  # radix mismatch
+
+    def test_repeated_wire_mapping_rejected(self):
+        block = QuditCircuit.qubits(2)
+        cx = block.cache_operation(gates.cx())
+        block.append_ref_constant(cx, (0, 1))
+        host = QuditCircuit.qubits(3)
+        with pytest.raises(ValueError):
+            host.append_circuit(block, location=(1, 1))
+        assert host.num_operations == 0  # nothing partially appended
+
+    def test_failed_append_leaves_host_untouched(self):
+        # The second gate's wire has the wrong radix; the first gate
+        # must not survive the failed append (no partial mutation).
+        host = QuditCircuit([2, 3])
+        block = u3_pair()
+        with pytest.raises(ValueError):
+            host.append_circuit(block)
+        assert host.num_operations == 0
+        assert host.num_params == 0
+        assert np.allclose(host.get_unitary(()), np.eye(6))

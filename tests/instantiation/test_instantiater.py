@@ -3,8 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.circuit import build_qsearch_ansatz, gates, QuditCircuit
-from repro.instantiation import Instantiater, LMOptions, instantiate
+from repro.circuit import build_qft_circuit, build_qsearch_ansatz, gates, QuditCircuit
+from repro.instantiation import (
+    AUTO_BATCH_MIN_STARTS,
+    Instantiater,
+    LMOptions,
+    instantiate,
+)
 
 
 @pytest.fixture(scope="module")
@@ -101,3 +106,83 @@ class TestAccounting:
             lm_options=LMOptions(max_iterations=2),
         )
         assert result.runs[0].iterations <= 2
+
+
+class TestAutoStrategy:
+    """``strategy="auto"`` switches engines at AUTO_BATCH_MIN_STARTS."""
+
+    def test_threshold_value(self):
+        assert AUTO_BATCH_MIN_STARTS == 4
+
+    def test_below_threshold_stays_sequential(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        engine = Instantiater(circ, strategy="auto")
+        target, p_true = target_from_ansatz(circ, 30)
+        for starts in range(1, AUTO_BATCH_MIN_STARTS):
+            result = engine.instantiate(target, starts=starts, rng=0, x0=p_true)
+            assert result.success
+            # The batched engine is built lazily on first batched call;
+            # below the threshold it must never come into existence.
+            assert engine._batched_engine is None
+
+    def test_at_threshold_switches_to_batched(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        engine = Instantiater(circ, strategy="auto")
+        target, p_true = target_from_ansatz(circ, 31)
+        result = engine.instantiate(
+            target, starts=AUTO_BATCH_MIN_STARTS, rng=0, x0=p_true
+        )
+        assert result.success
+        assert engine._batched_engine is not None
+
+    def test_zero_param_circuit_stays_sequential(self):
+        # A fully constant template has nothing to batch over.
+        circ = build_qft_circuit(2)
+        engine = Instantiater(circ, strategy="auto")
+        result = engine.instantiate(circ.get_unitary(()), starts=8)
+        assert result.success
+        assert result.infidelity <= 1e-8
+        assert engine._batched_engine is None
+
+    def test_per_call_override_beats_engine_default(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        engine = Instantiater(circ, strategy="auto")
+        target, _ = target_from_ansatz(circ, 32)
+        engine.instantiate(target, starts=2, rng=0, strategy="batched")
+        assert engine._batched_engine is not None
+
+
+class TestEngineReuse:
+    """One Instantiater serves many targets (the Listing 3 workflow)."""
+
+    @pytest.mark.parametrize("strategy", ["sequential", "batched"])
+    def test_many_targets_one_engine(self, strategy):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        engine = Instantiater(circ, strategy=strategy)
+        aot_before = engine.aot_seconds
+        for seed in range(3):
+            target, p_true = target_from_ansatz(circ, 40 + seed)
+            result = engine.instantiate(target, starts=8, rng=seed)
+            assert result.success
+            from repro.utils import hilbert_schmidt_infidelity
+
+            assert (
+                hilbert_schmidt_infidelity(
+                    target, circ.get_unitary(result.params)
+                )
+                < 1e-8
+            )
+        if strategy == "sequential":
+            # The scalar VM exists from construction; repeat targets
+            # must not pay any further AOT time.
+            assert engine.aot_seconds == aot_before
+
+    def test_batched_reuses_one_arena_per_start_count(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        engine = Instantiater(circ, strategy="batched")
+        for seed in range(3):
+            target, _ = target_from_ansatz(circ, 45 + seed)
+            engine.instantiate(target, starts=8, rng=seed)
+        batched = engine._batched_engine
+        assert batched is not None
+        assert set(batched._vms) == {8}  # one BatchedTNVM, reused

@@ -1,0 +1,130 @@
+"""Tests for the layer-generator template grammars."""
+
+import pytest
+
+from repro.circuit import gates
+from repro.expression import UnitaryExpression
+from repro.synthesis import (
+    CustomLayerGenerator,
+    LayerGenerator,
+    QSearchLayerGenerator,
+)
+
+
+class TestQSearchGenerator:
+    def test_initial_is_single_layer(self):
+        gen = QSearchLayerGenerator()
+        root = gen.initial((2, 2))
+        assert root.num_operations == 2
+        assert root.num_params == 6  # two U3s
+        assert root.gate_counts() == {"U3": 2}
+
+    def test_successors_add_one_block_per_pair(self):
+        gen = QSearchLayerGenerator()
+        root = gen.initial((2, 2, 2))
+        children = list(gen.successors(root))
+        assert len(children) == 3  # all unordered pairs of 3 wires
+        for child in children:
+            assert child.num_operations == root.num_operations + 3
+            assert child.gate_counts()["CX"] == 1
+        # Distinct couplings give distinct template shapes.
+        keys = {c.structure_key() for c in children}
+        assert len(keys) == 3
+
+    def test_expansion_reuses_cached_refs(self):
+        gen = QSearchLayerGenerator()
+        root = gen.initial((2, 2))
+        child = next(iter(gen.successors(root)))
+        # No new expression-table entries: the child appended purely by
+        # the refs cached on the root (the O(1) expansion fast path).
+        assert len(child._expr_keys) == len(root._expr_keys)
+        grandchild = next(iter(gen.successors(child)))
+        assert len(grandchild._expr_keys) == len(root._expr_keys)
+
+    def test_qutrit_defaults(self):
+        gen = QSearchLayerGenerator()
+        root = gen.initial((3, 3))
+        assert root.gate_counts() == {"P3": 2}
+        child = next(iter(gen.successors(root)))
+        assert child.gate_counts()["CSUM3"] == 1
+
+    def test_mixed_radix_pairs_skipped_by_default(self):
+        gen = QSearchLayerGenerator()
+        root = gen.initial((2, 3))
+        assert list(gen.successors(root)) == []
+
+    def test_explicit_couplings(self):
+        gen = QSearchLayerGenerator(couplings=[(0, 1)])
+        root = gen.initial((2, 2, 2))
+        children = list(gen.successors(root))
+        assert len(children) == 1
+        assert list(children[0])[-3].location == (0, 1)  # the entangler
+        with pytest.raises(ValueError):
+            QSearchLayerGenerator(couplings=[(0, 5)]).initial((2, 2))
+
+    def test_custom_single_and_entangler(self):
+        gen = QSearchLayerGenerator(
+            single=gates.rx(), entangler=gates.cz()
+        )
+        root = gen.initial((2, 2))
+        assert root.gate_counts() == {"RX": 2}
+        child = next(iter(gen.successors(root)))
+        assert child.gate_counts()["CZ"] == 1
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            QSearchLayerGenerator(single=gates.cx())
+        with pytest.raises(ValueError):
+            QSearchLayerGenerator(entangler=gates.u3())
+
+    def test_protocol_conformance(self):
+        assert isinstance(QSearchLayerGenerator(), LayerGenerator)
+
+
+class TestCustomGenerator:
+    def test_multiple_entanglers_widen_branching(self):
+        gen = CustomLayerGenerator(
+            single=gates.u3(), entanglers=[gates.cx(), gates.cz()]
+        )
+        root = gen.initial((2, 2))
+        children = list(gen.successors(root))
+        assert len(children) == 2
+        names = {list(c.gate_counts())[-1] for c in children}
+        assert names == {"CX", "CZ"}
+
+    def test_qgl_defined_gate_set(self):
+        # A gate set defined from scratch in QGL text.
+        single = UnitaryExpression(
+            "RY2(theta) { [[cos(theta/2), ~sin(theta/2)],"
+            " [sin(theta/2), cos(theta/2)]] }"
+        )
+        gen = CustomLayerGenerator(single=single, entanglers=gates.cz())
+        root = gen.initial((2, 2))
+        assert root.num_params == 2
+        child = next(iter(gen.successors(root)))
+        assert child.num_params == 4
+
+    def test_per_radix_singles(self):
+        gen = CustomLayerGenerator(
+            single={2: gates.u3(), 3: gates.qutrit_phase()},
+            entanglers=gates.cx(),
+        )
+        root = gen.initial((2, 3))
+        assert root.gate_counts() == {"U3": 1, "P3": 1}
+        # CX only couples qubit pairs; none exist here.
+        assert list(gen.successors(root)) == []
+
+    def test_missing_radix_raises(self):
+        gen = CustomLayerGenerator(single=gates.u3(), entanglers=gates.cx())
+        with pytest.raises(ValueError):
+            gen.initial((2, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CustomLayerGenerator(single=gates.u3(), entanglers=[])
+        with pytest.raises(ValueError):
+            CustomLayerGenerator(single=gates.u3(), entanglers=[gates.h()])
+        with pytest.raises(ValueError):
+            CustomLayerGenerator(
+                single={3: gates.u3()}, entanglers=gates.cx()
+            )

@@ -1,0 +1,183 @@
+"""Tests for the frontier-based synthesis search.
+
+``TestAcceptance`` holds the PR's acceptance bar: the 2-qubit QFT and
+five seeded Haar-random 2-qubit unitaries, all recovered in the U3+CNOT
+gate set to infidelity <= 1e-8.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_qft_circuit, build_qsearch_ansatz, gates
+from repro.instantiation import EnginePool
+from repro.synthesis import QSearchLayerGenerator, SynthesisSearch, infer_radices
+from repro.utils import hilbert_schmidt_infidelity, random_unitary
+
+
+@pytest.fixture(scope="module")
+def search():
+    # Module-scoped so the engine pool amortizes template AOT compiles
+    # across every test in this file (the workload the pool exists for).
+    return SynthesisSearch()
+
+
+class TestAcceptance:
+    def test_recovers_qft2(self, search):
+        target = build_qft_circuit(2).get_unitary(())
+        result = search.synthesize(target, rng=0)
+        assert result.success
+        assert result.infidelity <= 1e-8
+        assert result.count("CX") <= 3
+        assert (
+            hilbert_schmidt_infidelity(
+                target, result.circuit.get_unitary(result.params)
+            )
+            <= 1e-8
+        )
+
+    def test_recovers_random_2q_suite(self, search):
+        for seed in range(5):
+            target = random_unitary(4, rng=100 + seed)
+            result = search.synthesize(target, rng=seed)
+            assert result.success, f"seed {seed} not recovered"
+            assert result.infidelity <= 1e-8
+            assert result.count("CX") <= 3  # the generic SU(4) bound
+            assert (
+                hilbert_schmidt_infidelity(
+                    target, result.circuit.get_unitary(result.params)
+                )
+                <= 1e-8
+            )
+
+    def test_pool_amortizes_across_targets(self):
+        fresh = SynthesisSearch()
+        first = fresh.synthesize(random_unitary(4, rng=200), rng=0)
+        second = fresh.synthesize(random_unitary(4, rng=201), rng=1)
+        # Every template shape the second search needed was already
+        # AOT-compiled by the first.
+        assert first.engine_cache_misses > 0
+        assert second.engine_cache_misses == 0
+        assert second.engine_cache_hits == second.instantiation_calls
+
+
+class TestSearchBehaviour:
+    def test_identity_solved_at_root(self, search):
+        result = search.synthesize(np.eye(4), rng=0)
+        assert result.success
+        assert result.count("CX") == 0
+        assert result.nodes_expanded == 0
+
+    def test_single_qubit_target(self, search):
+        result = search.synthesize(random_unitary(2, rng=5), rng=0)
+        assert result.success
+        assert result.circuit.num_operations == 1
+
+    def test_dijkstra_finds_minimal_blocks(self):
+        # A target one entangling block away from the root.
+        ansatz = build_qsearch_ansatz(2, 1, 2)
+        p = np.random.default_rng(8).uniform(-np.pi, np.pi, ansatz.num_params)
+        target = ansatz.get_unitary(p)
+        result = SynthesisSearch(heuristic="dijkstra").synthesize(
+            target, rng=0
+        )
+        assert result.success
+        assert result.count("CX") == 1
+
+    def test_budget_exhaustion_returns_best_effort(self):
+        shallow = SynthesisSearch(max_layers=1)
+        result = shallow.synthesize(random_unitary(4, rng=300), rng=0)
+        assert not result.success
+        assert result.infidelity > 1e-8  # best candidate, honestly reported
+        assert result.circuit.num_operations >= 2
+        assert result.instantiation_calls >= 1
+
+    def test_max_expansions_budget(self):
+        capped = SynthesisSearch(max_expansions=0)
+        result = capped.synthesize(random_unitary(4, rng=301), rng=0)
+        assert not result.success
+        assert result.nodes_expanded == 0
+
+    def test_custom_heuristic_callable(self):
+        seen = []
+
+        def h(infidelity, layers):
+            seen.append((infidelity, layers))
+            return layers + infidelity
+
+        target = build_qft_circuit(2).get_unitary(())
+        result = SynthesisSearch(heuristic=h).synthesize(target, rng=0)
+        assert result.success
+        assert seen  # the callable drove the frontier order
+
+    def test_invalid_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            SynthesisSearch(heuristic="greedy")
+        with pytest.raises(ValueError):
+            SynthesisSearch(heuristic=3.5)  # not a string or callable
+
+    def test_shared_pool_injection(self):
+        pool = EnginePool()
+        a = SynthesisSearch(pool=pool)
+        b = SynthesisSearch(pool=pool)
+        a.synthesize(random_unitary(4, rng=400), rng=0)
+        result = b.synthesize(random_unitary(4, rng=401), rng=0)
+        assert result.engine_cache_misses == 0  # b rides a's compiles
+
+    def test_conflicting_pool_config_rejected(self):
+        from repro.synthesis import Resynthesizer
+
+        # Engine options belong to the pool when one is injected...
+        with pytest.raises(ValueError):
+            SynthesisSearch(pool=EnginePool(), strategy="sequential")
+        with pytest.raises(ValueError):
+            Resynthesizer(pool=EnginePool(), precision="f32")
+        # ...and a pool threshold looser than the pass threshold would
+        # make pooled engines short-circuit above the pass's bar.
+        with pytest.raises(ValueError):
+            SynthesisSearch(success_threshold=1e-12, pool=EnginePool())
+        # A matching (or tighter) pool threshold is fine.
+        SynthesisSearch(
+            success_threshold=1e-6,
+            pool=EnginePool(success_threshold=1e-8),
+        )
+
+    def test_qutrit_gate_set(self):
+        gen = QSearchLayerGenerator()
+        ansatz = gen.initial((3, 3))
+        p = np.random.default_rng(9).uniform(-np.pi, np.pi, ansatz.num_params)
+        target = ansatz.get_unitary(p)
+        result = SynthesisSearch(layer_generator=gen).synthesize(
+            target, radices=(3, 3), rng=0
+        )
+        assert result.success
+        assert result.circuit.radices == (3, 3)
+
+
+class TestTargetValidation:
+    def test_infer_radices(self):
+        assert infer_radices(8) == (2, 2, 2)
+        assert infer_radices(9) == (3, 3)
+        with pytest.raises(ValueError):
+            infer_radices(5)
+
+    def test_non_square_rejected(self, search):
+        with pytest.raises(ValueError):
+            search.synthesize(np.zeros((2, 3)))
+
+    def test_radices_dimension_mismatch(self, search):
+        with pytest.raises(ValueError):
+            search.synthesize(np.eye(4), radices=(2, 2, 2))
+
+    def test_custom_entangler_search(self):
+        # CZ is as universal as CX when sandwiched in U3 layers.
+        ansatz = build_qsearch_ansatz(2, 1, 2)
+        p = np.random.default_rng(10).uniform(
+            -np.pi, np.pi, ansatz.num_params
+        )
+        target = ansatz.get_unitary(p)
+        gen = QSearchLayerGenerator(single=gates.u3(), entangler=gates.cz())
+        result = SynthesisSearch(layer_generator=gen).synthesize(
+            target, rng=0
+        )
+        assert result.success
+        assert "CZ" in result.gate_counts or result.count("CX") == 0
