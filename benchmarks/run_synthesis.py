@@ -6,20 +6,34 @@ Usage::
     python benchmarks/run_synthesis.py                       # full console run
     python benchmarks/run_synthesis.py --random-targets 2 \
         --json BENCH_synthesis.json                          # CI smoke artifact
+    python benchmarks/run_synthesis.py --compare-workers 1,4 \
+        --random-targets 1 --json BENCH_parallel_synthesis.json
 
-Synthesizes the 2-qubit QFT plus ``--random-targets`` seeded Haar-random
-2-qubit unitaries with :class:`repro.synthesis.SynthesisSearch` (U3+CNOT
-gate set, one shared engine pool), then compresses a deliberately deep
-ansatz with :class:`repro.synthesis.Resynthesizer`.  The JSON report
-records, per target: solved or not, infidelity, entangling-gate count,
+Default mode synthesizes the 2-qubit QFT plus ``--random-targets``
+seeded Haar-random 2-qubit unitaries with
+:class:`repro.synthesis.SynthesisSearch` (U3+CNOT gate set, one shared
+engine pool), then compresses a deliberately deep ansatz with
+:class:`repro.synthesis.Resynthesizer`.  The JSON report records, per
+target: solved or not, infidelity, entangling-gate count,
 instantiation calls, engine-cache hits/misses, and wall time — the
 figures of merit for the paper's section II-B workload.
+
+``--compare-workers`` switches to the serial-vs-parallel comparison:
+3-qubit targets (QFT-3 plus seeded *reachable* random unitaries, whose
+expansions branch three ways and therefore batch multiple candidates
+per round) are synthesized once per worker count, a deep ansatz is
+compressed with full scan waves, and the report records per-config
+wall time, parallel efficiency, the speedup over the serial run, and
+whether the results were bit-identical (they must be: candidate seeds
+derive from structure keys, not draw order).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import time
 
 import numpy as np
 
@@ -28,20 +42,12 @@ from repro.synthesis import Resynthesizer, SynthesisSearch
 from repro.utils import random_unitary
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--random-targets", type=int, default=5)
-    parser.add_argument("--starts", type=int, default=8)
-    parser.add_argument("--seed-base", type=int, default=100)
-    parser.add_argument(
-        "--json",
-        default="",
-        metavar="PATH",
-        help="write the report (e.g. BENCH_synthesis.json)",
+def default_suite(args) -> None:
+    search = SynthesisSearch(
+        starts=args.starts,
+        workers=args.workers,
+        expansion_width=args.expansion_width or 1,
     )
-    args = parser.parse_args()
-
-    search = SynthesisSearch(starts=args.starts)
     targets = [("qft2", build_qft_circuit(2).get_unitary(()))]
     targets += [
         (f"random-{k}", random_unitary(4, rng=args.seed_base + k))
@@ -49,7 +55,7 @@ def main() -> None:
     ]
 
     print(f"synthesis: {len(targets)} 2-qubit targets, U3+CNOT gate set, "
-          f"{args.starts} starts per candidate\n")
+          f"{args.starts} starts per candidate, {args.workers} worker(s)\n")
     print(f"{'target':<12} {'solved':>6} {'CX':>3} {'infidelity':>11} "
           f"{'calls':>6} {'hits':>5} {'seconds':>8}")
 
@@ -67,6 +73,8 @@ def main() -> None:
             "engine_cache_misses": result.engine_cache_misses,
             "nodes_expanded": result.nodes_expanded,
             "wall_seconds": result.wall_seconds,
+            "workers": result.workers,
+            "parallel_efficiency": result.parallel_efficiency,
         })
         print(f"{name:<12} {str(result.success):>6} "
               f"{result.count('CX'):>3} {result.infidelity:>11.2e} "
@@ -82,8 +90,9 @@ def main() -> None:
         np.random.default_rng(42).uniform(-np.pi, np.pi, shallow.num_params)
     )
     compressed = Resynthesizer(
-        starts=args.starts, pool=search.pool
+        starts=args.starts, pool=search.pool, executor=search.executor
     ).resynthesize(deep, target=compress_target, rng=5)
+    search.close()
     print(f"\nresynthesis: {deep.num_operations} -> "
           f"{compressed.circuit.num_operations} gates "
           f"({deep.gate_counts().get('CX', 0)} -> "
@@ -94,6 +103,7 @@ def main() -> None:
     solved = sum(r["solved"] for r in rows)
     report = {
         "starts": args.starts,
+        "workers": args.workers,
         "targets_total": len(rows),
         "targets_solved": solved,
         "instantiation_calls_total": sum(
@@ -119,6 +129,234 @@ def main() -> None:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=2)
         print(f"wrote {args.json}")
+
+
+def reachable_3q_target(seed: int) -> np.ndarray:
+    """A random unitary a depth-3 3-qubit search can actually reach."""
+    ansatz = build_qsearch_ansatz(3, 3, 2)
+    params = np.random.default_rng(seed).uniform(
+        -np.pi, np.pi, ansatz.num_params
+    )
+    return ansatz.get_unitary(params)
+
+
+def compare_over_workers(name, worker_counts, run, extra_fields):
+    """Run one workload once per worker count and compare the results.
+
+    ``run(workers) -> SynthesisResult`` executes the workload;
+    ``extra_fields(result) -> dict`` contributes workload-specific JSON
+    columns.  Returns ``(runs, identical)`` where ``identical`` holds
+    iff every run returned the serial run's circuit, params,
+    infidelity, and instantiation-call count — the bit-identical
+    contract of the candidate executors.  Prints one table row per run.
+    """
+    runs = []
+    reference = None
+    identical = True
+    for workers in worker_counts:
+        t0 = time.perf_counter()
+        result = run(workers)
+        wall = time.perf_counter() - t0
+        if reference is None:
+            reference = result
+        else:
+            identical = identical and (
+                reference.circuit.structure_key()
+                == result.circuit.structure_key()
+                and np.array_equal(reference.params, result.params)
+                and reference.infidelity == result.infidelity
+                and reference.instantiation_calls
+                == result.instantiation_calls
+            )
+        speedup = runs[0]["wall_seconds"] / wall if runs else 1.0
+        row = {
+            "workers": workers,
+            "solved": result.success,
+            "instantiation_calls": result.instantiation_calls,
+            "parallel_efficiency": result.parallel_efficiency,
+            "wall_seconds": wall,
+            "speedup_vs_serial": speedup,
+        }
+        row.update(extra_fields(result))
+        runs.append(row)
+        print(f"{name:<12} {workers:>7} {str(result.success):>6} "
+              f"{result.instantiation_calls:>6} "
+              f"{(result.parallel_efficiency or 0.0):>5.2f} "
+              f"{wall:>8.2f} {speedup:>8.2f} {str(identical):>9}")
+    return runs, identical
+
+
+def compare_workers_suite(args, worker_counts: list[int]) -> None:
+    width = args.expansion_width or 2
+    targets = [("qft3", build_qft_circuit(3).get_unitary(()))]
+    targets += [
+        (f"random3q-{k}", reachable_3q_target(args.seed_base + k))
+        for k in range(args.random_targets)
+    ]
+
+    # One persistent search per worker count, reused across every
+    # target (mirroring the default suite's shared pool), with an
+    # untimed warm-up synthesize that pays expression JIT, common AOT
+    # compiles, and — for parallel configs — process-pool boot and
+    # worker imports *before* the timers start.  Without this, the
+    # parallel measurements would carry pool cold-start the serial
+    # runs never pay, biasing the comparison against parallelism.
+    warm_target = build_qsearch_ansatz(3, 1, 2).get_unitary(
+        np.zeros(build_qsearch_ansatz(3, 1, 2).num_params)
+    )
+    searches = {}
+    for workers in worker_counts:
+        search = SynthesisSearch(
+            starts=args.starts, workers=workers, expansion_width=width
+        )
+        search.synthesize(warm_target, rng=0)
+        searches[workers] = search
+
+    print(f"parallel synthesis comparison: {len(targets)} 3-qubit targets, "
+          f"workers {worker_counts}, expansion_width={width}, "
+          f"{args.starts} starts, {os.cpu_count()} CPU core(s)\n")
+    print(f"{'target':<12} {'workers':>7} {'solved':>6} {'calls':>6} "
+          f"{'eff':>5} {'seconds':>8} {'speedup':>8} {'identical':>9}")
+
+    target_rows = []
+    totals = {w: 0.0 for w in worker_counts}
+    all_identical = True
+    for name, target in targets:
+
+        def run_search(workers, target=target):
+            return searches[workers].synthesize(target, rng=7)
+
+        runs, identical = compare_over_workers(
+            name,
+            worker_counts,
+            run_search,
+            lambda r: {
+                "infidelity": r.infidelity,
+                "nodes_expanded": r.nodes_expanded,
+            },
+        )
+        for row in runs:
+            totals[row["workers"]] += row["wall_seconds"]
+        all_identical = all_identical and identical
+        target_rows.append({
+            "target": name,
+            "identical_across_workers": identical,
+            "runs": runs,
+        })
+
+    # Compression comparison: the default suite's over-deep 2-qubit
+    # ansatz, but with full scan waves, so every wave batches
+    # (operations) concurrent candidate fits.
+    deep = build_qsearch_ansatz(2, 3, 2)
+    shallow = build_qsearch_ansatz(2, 1, 2)
+    compress_target = shallow.get_unitary(
+        np.random.default_rng(42).uniform(-np.pi, np.pi, shallow.num_params)
+    )
+
+    def run_resynth(workers):
+        # Ride the worker count's warm search: same pool (AOT already
+        # paid for shared shapes) and same booted process pool.
+        search = searches[workers]
+        resynth = Resynthesizer(
+            starts=args.starts,
+            scan_batch=None,
+            pool=search.pool,
+            executor=search.executor,
+        )
+        return resynth.resynthesize(deep, target=compress_target, rng=5)
+
+    resynth_runs, resynth_identical = compare_over_workers(
+        "resynth2q",
+        worker_counts,
+        run_resynth,
+        lambda r: {
+            "operations_before": deep.num_operations,
+            "operations_after": r.circuit.num_operations,
+        },
+    )
+    all_identical = all_identical and resynth_identical
+    for search in searches.values():
+        search.close()
+
+    serial = worker_counts[0]
+    speedups = {
+        str(w): totals[serial] / totals[w] for w in worker_counts[1:]
+    }
+    report = {
+        "mode": "parallel-comparison",
+        "cpu_count": os.cpu_count(),
+        "starts": args.starts,
+        "expansion_width": width,
+        "worker_counts": worker_counts,
+        "identical_across_workers": all_identical,
+        "targets": target_rows,
+        "resynthesis": {
+            "operations_before": deep.num_operations,
+            "identical_across_workers": resynth_identical,
+            "runs": resynth_runs,
+        },
+        "synthesis_wall_seconds": {str(w): totals[w] for w in worker_counts},
+        "synthesis_speedup_vs_serial": speedups,
+    }
+    print(f"\ncomparison: identical={all_identical}, "
+          + ", ".join(
+              f"{w} workers -> {speedups[str(w)]:.2f}x"
+              for w in worker_counts[1:]
+          ))
+    if os.cpu_count() is not None and os.cpu_count() < max(worker_counts):
+        print(f"note: only {os.cpu_count()} CPU core(s) available; "
+              "wall-clock speedup needs at least as many cores as workers")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--random-targets", type=int, default=5)
+    parser.add_argument("--starts", type=int, default=8)
+    parser.add_argument("--seed-base", type=int, default=100)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="candidate-evaluation workers for the default suite",
+    )
+    parser.add_argument(
+        "--expansion-width",
+        type=int,
+        default=None,
+        metavar="W",
+        help="frontier expansions per round (default: 1; comparison "
+        "mode: 2)",
+    )
+    parser.add_argument(
+        "--compare-workers",
+        default="",
+        metavar="N,M,...",
+        help="run the serial-vs-parallel comparison over these worker "
+        "counts (e.g. 1,4) instead of the default suite",
+    )
+    parser.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="write the report (e.g. BENCH_synthesis.json or "
+        "BENCH_parallel_synthesis.json)",
+    )
+    args = parser.parse_args()
+
+    if args.compare_workers:
+        worker_counts = [
+            int(tok) for tok in args.compare_workers.split(",") if tok
+        ]
+        if len(worker_counts) < 2:
+            parser.error("--compare-workers needs at least two counts")
+        compare_workers_suite(args, worker_counts)
+    else:
+        default_suite(args)
 
 
 if __name__ == "__main__":

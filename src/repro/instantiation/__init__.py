@@ -13,6 +13,7 @@ from .instantiater import (
     SUCCESS_THRESHOLD,
     Instantiater,
     InstantiationResult,
+    SerializedEngine,
     instantiate,
 )
 from .lm import (
@@ -28,6 +29,7 @@ __all__ = [
     "BatchedInstantiater",
     "EnginePool",
     "InstantiationResult",
+    "SerializedEngine",
     "instantiate",
     "STRATEGIES",
     "AUTO_BATCH_MIN_STARTS",

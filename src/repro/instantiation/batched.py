@@ -51,27 +51,30 @@ class BatchedInstantiater:
 
     def __init__(
         self,
-        circuit: QuditCircuit,
+        circuit: QuditCircuit | None = None,
         precision: str = "f64",
         cache: ExpressionCache | None = None,
         success_threshold: float = SUCCESS_THRESHOLD,
         lm_options: LMOptions | None = None,
         program=None,
     ):
+        if circuit is None and program is None:
+            raise ValueError("pass a circuit or an AOT-compiled program")
         start = time.perf_counter()
         self.circuit = circuit
         # ``program`` lets an owning Instantiater share its compiled
-        # bytecode instead of paying the AOT compile twice.
+        # bytecode instead of paying the AOT compile twice (and is the
+        # only shape source for engines rehydrated in worker processes).
         self.program = program if program is not None else circuit.compile()
         self.precision = precision
         self.cache = cache
         self.aot_seconds = time.perf_counter() - start
         self.success_threshold = success_threshold
-        self.num_params = circuit.num_params
+        self.num_params = self.program.num_params
         # Encode the infidelity threshold as a residual-cost threshold.
         self.lm_options = dataclasses.replace(
             lm_options or LMOptions(),
-            success_cost=2.0 * circuit.dim * success_threshold,
+            success_cost=2.0 * self.program.dim * success_threshold,
         )
         self._vms: dict[int, BatchedTNVM] = {}
 

@@ -18,6 +18,8 @@ import numpy as np
 
 from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache
+from ..jit.compiled import CompiledExpression
+from ..tensornet.bytecode import Program
 from ..tnvm.vm import TNVM, Differentiation
 from .cost import HilbertSchmidtResiduals, infidelity_from_cost
 from .lm import LMOptions, LMResult, levenberg_marquardt
@@ -25,6 +27,7 @@ from .lm import LMOptions, LMResult, levenberg_marquardt
 __all__ = [
     "InstantiationResult",
     "Instantiater",
+    "SerializedEngine",
     "instantiate",
     "STRATEGIES",
     "AUTO_BATCH_MIN_STARTS",
@@ -86,6 +89,28 @@ def scan_winner(runs, dim: int, success_threshold: float):
     return best, used
 
 
+@dataclass(frozen=True)
+class SerializedEngine:
+    """A pickle-able snapshot of a compiled instantiation engine.
+
+    Carries the AOT-compiled TNVM bytecode plus the JIT'd expression
+    artifacts (as generated source, via ``CompiledExpression``'s
+    reducers) and the engine settings — everything another process
+    needs to rebuild an equivalent :class:`Instantiater` with
+    :meth:`Instantiater.from_serialized` *without* re-paying tensor
+    lowering, pathfinding, differentiation, or e-graph simplification.
+    This is how :class:`~repro.instantiation.EnginePool` ships engines
+    to parallel synthesis workers.
+    """
+
+    program: Program
+    compiled: tuple[CompiledExpression, ...]
+    precision: str
+    success_threshold: float
+    lm_options: LMOptions
+    strategy: str
+
+
 @dataclass
 class InstantiationResult:
     """Outcome of (possibly multi-start) instantiation."""
@@ -115,23 +140,28 @@ class Instantiater:
 
     def __init__(
         self,
-        circuit: QuditCircuit,
+        circuit: QuditCircuit | None = None,
         precision: str = "f64",
         cache: ExpressionCache | None = None,
         success_threshold: float = SUCCESS_THRESHOLD,
         lm_options: LMOptions | None = None,
         strategy: str = "sequential",
+        program: Program | None = None,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"strategy must be one of {STRATEGIES}, got {strategy!r}"
             )
+        if circuit is None and program is None:
+            raise ValueError("pass a circuit or an AOT-compiled program")
         start = time.perf_counter()
         self.strategy = strategy
         self.circuit = circuit
         self.precision = precision
         self.cache = cache
-        self.program = circuit.compile()
+        # ``program`` lets a rehydrated engine (or a caller that already
+        # compiled) skip the AOT compile.
+        self.program = program if program is not None else circuit.compile()
         self._vm: TNVM | None = None
         self.aot_seconds = time.perf_counter() - start
         if strategy != "batched":
@@ -141,12 +171,12 @@ class Instantiater:
             # engines keep the seed behaviour: VM ready after init.
             _ = self.vm
         self.success_threshold = success_threshold
-        self.num_params = circuit.num_params
+        self.num_params = self.program.num_params
         self._batched_engine = None
         # Encode the infidelity threshold as a residual-cost threshold.
         self.lm_options = dataclasses.replace(
             lm_options or LMOptions(),
-            success_cost=2.0 * circuit.dim * success_threshold,
+            success_cost=2.0 * self.program.dim * success_threshold,
         )
 
     @property
@@ -177,12 +207,69 @@ class Instantiater:
                 success_threshold=self.success_threshold,
                 lm_options=self.lm_options,
                 program=self.program,
-            )
+            )  # circuit may be None; the shared program carries the shape
             # The bytecode was compiled by *this* engine; report one
             # combined AOT figure rather than double-counting zero.
             engine.aot_seconds += self.aot_seconds
             self._batched_engine = engine
         return self._batched_engine
+
+    # ------------------------------------------------------------------
+    # Cross-process sharing
+    # ------------------------------------------------------------------
+    def serialize(self) -> SerializedEngine:
+        """Snapshot this engine for shipment to another process.
+
+        The snapshot pairs the compiled bytecode with the JIT'd
+        expression artifacts the scalar VM holds (building the VM if
+        this is a batched-only engine), so
+        :meth:`from_serialized` reconstructs a numerically identical
+        engine without any recompilation.
+        """
+        compiled = tuple(self.vm.compiled)
+        if self.strategy != "sequential":
+            # Ship the batched writer too: the receiving engine will
+            # run batched multi-start sweeps, and the variant compiles
+            # once here (expressions are shared via the cache) instead
+            # of once per receiving process.
+            for expr in compiled:
+                if expr.num_params > 0:
+                    _ = expr.write_batched
+        return SerializedEngine(
+            program=self.program,
+            compiled=compiled,
+            precision=self.precision,
+            success_threshold=self.success_threshold,
+            lm_options=self.lm_options,
+            strategy=self.strategy,
+        )
+
+    @classmethod
+    def from_serialized(
+        cls,
+        payload: SerializedEngine,
+        cache: ExpressionCache | None = None,
+    ) -> "Instantiater":
+        """Rebuild an engine from a :class:`SerializedEngine`.
+
+        The shipped compiled expressions are seeded into ``cache`` (a
+        fresh private cache by default) before TNVM setup, so every
+        ``cache.get`` during initialization hits — no differentiation,
+        e-graph, or codegen work is repeated.  The rebuilt engine
+        produces bit-identical costs and gradients to the original.
+        """
+        if cache is None:
+            cache = ExpressionCache()
+        for compiled in payload.compiled:
+            cache.put(compiled)
+        return cls(
+            precision=payload.precision,
+            cache=cache,
+            success_threshold=payload.success_threshold,
+            lm_options=payload.lm_options,
+            strategy=payload.strategy,
+            program=payload.program,
+        )
 
     def instantiate(
         self,

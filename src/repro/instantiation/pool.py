@@ -17,10 +17,11 @@ information the AOT compiler consumes.  Hit/miss counters feed the
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
 
 from ..circuit.circuit import QuditCircuit
-from ..jit.cache import ExpressionCache
+from ..jit.cache import ExpressionCache, global_cache
 from .instantiater import SUCCESS_THRESHOLD, Instantiater
 from .lm import LMOptions
 
@@ -57,6 +58,16 @@ class EnginePool:
         self.hits = 0
         self.misses = 0
         self._engines: OrderedDict[tuple, Instantiater] = OrderedDict()
+        # Pickled SerializedEngine per structure key: the program store
+        # parallel synthesis ships to worker processes.  Serialization
+        # is paid once per shape, and the bytes survive engine eviction
+        # (an evicted shape rehydrates from them instead of
+        # recompiling).  Payloads are much smaller than live engines,
+        # so their LRU runs at a multiple of the engine capacity — but
+        # still bounded, or a long sweep would accumulate every shape
+        # it ever serialized.
+        self._payloads: OrderedDict[tuple, bytes] = OrderedDict()
+        self._payload_capacity = 4 * capacity
 
     def __len__(self) -> int:
         return len(self._engines)
@@ -75,22 +86,58 @@ class EnginePool:
             self.hits += 1
             return engine
         self.misses += 1
-        engine = Instantiater(
-            circuit,
-            precision=self.precision,
-            cache=self.cache,
-            success_threshold=self.success_threshold,
-            lm_options=self.lm_options,
-            strategy=self.strategy,
-        )
+        payload = self._payloads.get(key)
+        if payload is not None:
+            self._payloads.move_to_end(key)
+            # The shape was serialized before its engine was evicted:
+            # rehydrating from the snapshot (source exec + TNVM setup)
+            # is much cheaper than re-running the AOT compile and is
+            # numerically identical.
+            engine = Instantiater.from_serialized(
+                pickle.loads(payload),
+                cache=self.cache if self.cache is not None else global_cache(),
+            )
+        else:
+            engine = Instantiater(
+                circuit,
+                precision=self.precision,
+                cache=self.cache,
+                success_threshold=self.success_threshold,
+                lm_options=self.lm_options,
+                strategy=self.strategy,
+            )
         self._engines[key] = engine
         while len(self._engines) > self.capacity:
             self._engines.popitem(last=False)
         return engine
 
+    def serialized_bytes(self, circuit: QuditCircuit) -> bytes:
+        """Pickled :class:`~repro.instantiation.SerializedEngine` bytes
+        for ``circuit``'s template shape.
+
+        Resolves the pooled engine first (compiling it here, once, on a
+        miss — workers never pay AOT) and caches the pickled snapshot
+        per structure key, so shipping the same shape to many workers
+        or tasks costs one serialization total.
+        """
+        key = circuit.structure_key()
+        payload = self._payloads.get(key)
+        engine = self.engine_for(circuit)
+        if payload is None:
+            payload = pickle.dumps(
+                engine.serialize(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            self._payloads[key] = payload
+            while len(self._payloads) > self._payload_capacity:
+                self._payloads.popitem(last=False)
+        else:
+            self._payloads.move_to_end(key)
+        return payload
+
     def clear(self) -> None:
-        """Drop all pooled engines (counters are preserved)."""
+        """Drop all pooled engines and payloads (counters preserved)."""
         self._engines.clear()
+        self._payloads.clear()
 
     def __repr__(self) -> str:
         return (

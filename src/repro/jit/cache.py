@@ -71,6 +71,22 @@ class ExpressionCache:
             self.misses += 1
             return self._entries[key]
 
+    def put(self, compiled: CompiledExpression) -> None:
+        """Seed the cache with an already-compiled expression.
+
+        Used when a serialized engine is rehydrated in another process:
+        the shipped :class:`CompiledExpression` objects are inserted
+        under the same alpha-invariant key :meth:`get` computes, so the
+        TNVM setup that follows hits for every expression instead of
+        re-paying differentiation + simplification + codegen.  An
+        existing entry wins (it may already be in use by live VMs).
+        """
+        key = canonical_key(
+            compiled.matrix, compiled._has_grad, compiled.simplified
+        )
+        with self._lock:
+            self._entries.setdefault(key, compiled)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -39,7 +39,12 @@ from ..egraph.cost import op_cost
 from ..symbolic import expr as E
 from ..symbolic.expr import Expr
 
-__all__ = ["generate_source", "compile_writer", "CodegenResult"]
+__all__ = [
+    "generate_source",
+    "compile_writer",
+    "compile_source",
+    "CodegenResult",
+]
 
 _GLOBALS = {
     "sin": math.sin,
@@ -253,6 +258,23 @@ def compile_writer(
     source, n_dyn, n_const, cost = generate_source(
         unitary_entries, grad_entries, param_names, func_name, batched
     )
+    return compile_source(source, func_name, batched, n_dyn, n_const, cost)
+
+
+def compile_source(
+    source: str,
+    func_name: str,
+    batched: bool,
+    num_dynamic_entries: int,
+    num_constant_entries: int,
+    total_cost: float,
+) -> CodegenResult:
+    """Compile already-generated writer source into a CodegenResult.
+
+    This is the cheap half of :func:`compile_writer` — a serialized
+    :class:`~repro.jit.compiled.CompiledExpression` rehydrates through
+    it, skipping symbolic differentiation and e-graph simplification.
+    """
     namespace = dict(_BATCHED_GLOBALS if batched else _GLOBALS)
     code = compile(source, f"<qgl-jit:{func_name}>", "exec")
     exec(code, namespace)
@@ -268,9 +290,9 @@ def compile_writer(
         write=namespace[func_name],
         write_constants=write_constants,
         source=source,
-        num_dynamic_entries=n_dyn,
-        num_constant_entries=n_const,
-        total_cost=cost,
+        num_dynamic_entries=num_dynamic_entries,
+        num_constant_entries=num_constant_entries,
+        total_cost=total_cost,
     )
 
 

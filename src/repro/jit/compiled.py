@@ -6,7 +6,7 @@ import numpy as np
 
 from ..egraph.runner import RunnerLimits, simplify_all
 from ..symbolic.matrix import ExpressionMatrix
-from .codegen import CodegenResult, compile_writer
+from .codegen import CodegenResult, compile_source, compile_writer
 
 __all__ = ["CompiledExpression"]
 
@@ -90,6 +90,65 @@ class CompiledExpression:
         # eagerly would double JIT latency for every scalar user).
         self._entries = (unitary_entries, grad_entries, func_name)
         self._batched_result: CodegenResult | None = None
+
+    # ------------------------------------------------------------------
+    # Serialization (cross-process engine sharing)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the *products* of the expensive pipeline.
+
+        The generated source (plus its codegen metadata) stands in for
+        the unpicklable compiled functions; the simplified entry triples
+        are kept so the batched writer variant can still be generated
+        on demand after rehydration.  Differentiation and e-graph
+        simplification are never re-run on load.
+        """
+        result = self._result
+        batched = self._batched_result
+        return {
+            "matrix": self.matrix,
+            "simplified": self.simplified,
+            "has_grad": self._has_grad,
+            "entries": self._entries,
+            "source": result.source,
+            "num_dynamic": result.num_dynamic_entries,
+            "num_constant": result.num_constant_entries,
+            "total_cost": result.total_cost,
+            "batched_source": batched.source if batched is not None else None,
+        }
+
+    def __setstate__(self, state):
+        matrix = state["matrix"]
+        self.matrix = matrix
+        self.shape = matrix.shape
+        self.radices = tuple(matrix.radices)
+        self.num_params = matrix.num_params
+        self.name = matrix.name
+        self.simplified = state["simplified"]
+        self._has_grad = state["has_grad"]
+        self._entries = state["entries"]
+        func_name = self._entries[2]
+        self._result = compile_source(
+            state["source"],
+            func_name,
+            False,
+            state["num_dynamic"],
+            state["num_constant"],
+            state["total_cost"],
+        )
+        batched_source = state["batched_source"]
+        self._batched_result = (
+            compile_source(
+                batched_source,
+                func_name + "_batched",
+                True,
+                state["num_dynamic"],
+                state["num_constant"],
+                state["total_cost"],
+            )
+            if batched_source is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Hot path

@@ -38,6 +38,11 @@ class ComplexExpr:
     def __setattr__(self, *_args) -> None:
         raise AttributeError("ComplexExpr is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks default slot-state pickling;
+        # rebuild through the constructor instead.
+        return (ComplexExpr, (self.re, self.im))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -127,6 +127,14 @@ class Expr:
     def __setattr__(self, *_args) -> None:
         raise AttributeError("Expr is immutable")
 
+    def __reduce__(self):
+        # Hash-consing breaks default pickling (``__new__`` needs the
+        # operator), so route unpickling back through the constructor:
+        # nodes re-intern in the target process and pickle's memo keeps
+        # shared subtrees shared, preserving the DAG shape the JIT's
+        # identity-based CSE walks.
+        return (Expr, (self.op, self.children, self.value, self.name))
+
     def __hash__(self) -> int:
         return self._hash
 

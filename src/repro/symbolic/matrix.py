@@ -108,6 +108,19 @@ class ExpressionMatrix:
     def __setattr__(self, *_args) -> None:
         raise AttributeError("ExpressionMatrix is immutable")
 
+    def __reduce__(self):
+        # The immutability guard breaks default slot-state pickling;
+        # rebuild through the constructor (elements as nested lists so
+        # the object ndarray never hits pickle directly).
+        rows = [
+            [self._data[i, j] for j in range(self._data.shape[1])]
+            for i in range(self._data.shape[0])
+        ]
+        return (
+            ExpressionMatrix,
+            (rows, self.params, self.radices or None, self.name),
+        )
+
     # ------------------------------------------------------------------
     # Basic constructors
     # ------------------------------------------------------------------

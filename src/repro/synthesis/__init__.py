@@ -8,9 +8,17 @@ through pooled, batched :class:`~repro.instantiation.Instantiater`
 engines.
 """
 
+from .executor import (
+    CandidateExecutor,
+    FitJob,
+    ProcessCandidateExecutor,
+    SerialCandidateExecutor,
+    candidate_seed,
+    make_executor,
+)
 from .layers import CustomLayerGenerator, LayerGenerator, QSearchLayerGenerator
 from .result import SynthesisResult
-from .resynth import PartitionedSynthesizer, Resynthesizer
+from .resynth import SCAN_ORDERS, PartitionedSynthesizer, Resynthesizer
 from .search import SynthesisSearch, infer_radices
 
 __all__ = [
@@ -21,5 +29,12 @@ __all__ = [
     "SynthesisSearch",
     "Resynthesizer",
     "PartitionedSynthesizer",
+    "SCAN_ORDERS",
     "infer_radices",
+    "CandidateExecutor",
+    "SerialCandidateExecutor",
+    "ProcessCandidateExecutor",
+    "FitJob",
+    "make_executor",
+    "candidate_seed",
 ]

@@ -1,0 +1,319 @@
+"""Candidate-evaluation executors: the parallel frontier layer.
+
+Candidates produced by one synthesis round — all successors of a
+frontier expansion, all gate-deletion variants of a compression scan
+wave — are independent instantiation problems.  This module evaluates
+such a batch through a :class:`CandidateExecutor`:
+
+* :class:`SerialCandidateExecutor` runs the batch in-process through
+  the shared :class:`~repro.instantiation.EnginePool` (the seed
+  behaviour, minus the draw-order RNG coupling);
+* :class:`ProcessCandidateExecutor` fans the batch out over a process
+  pool.  Workers never AOT-compile: the parent pool compiles each new
+  template shape once, snapshots it as a pickled
+  :class:`~repro.instantiation.SerializedEngine` (TNVM bytecode +
+  JIT'd expression source), and ships the snapshot with the task; a
+  per-worker LRU rehydrates and reuses engines per shape.
+
+Determinism: each candidate's multi-start RNG is seeded by
+:func:`candidate_seed` — a stable hash of the pass's base seed and the
+candidate's structure key — never by draw order, so serial and
+parallel evaluation of the same batch return bit-identical results no
+matter how the work is scheduled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import pickle
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuit.circuit import QuditCircuit
+from ..instantiation.instantiater import Instantiater
+from ..instantiation.pool import EnginePool
+from ..jit.cache import ExpressionCache
+from ..utils.unitary import hilbert_schmidt_infidelity
+
+__all__ = [
+    "FitJob",
+    "FitOutcome",
+    "CandidateExecutor",
+    "SerialCandidateExecutor",
+    "ProcessCandidateExecutor",
+    "make_executor",
+    "candidate_seed",
+]
+
+
+def candidate_seed(base_seed: int, key: object) -> int:
+    """A stable per-candidate RNG seed.
+
+    Derived from the pass's base seed and the candidate's identity
+    (typically its :meth:`~QuditCircuit.structure_key`) through SHA-256,
+    so the seed depends on *what* is being fitted, never on the order
+    candidates happen to be drawn or scheduled in — the property that
+    makes serial and parallel evaluation bit-identical.
+    """
+    digest = hashlib.sha256(repr((base_seed, key)).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass
+class FitJob:
+    """One candidate fit: circuit, target, and its derived seed."""
+
+    circuit: QuditCircuit
+    target: np.ndarray
+    starts: int
+    seed: int
+    x0: np.ndarray | None = None
+
+
+@dataclass
+class FitOutcome:
+    """Result of one candidate fit plus its engine-side wall time."""
+
+    params: np.ndarray
+    infidelity: float
+    busy_seconds: float
+    #: True when the candidate had parameters and hit an engine (the
+    #: condition under which passes count an instantiation call).
+    engine_call: bool
+
+
+def _constant_outcome(job: FitJob) -> FitOutcome:
+    """A fully constant candidate has nothing to optimize."""
+    t0 = time.perf_counter()
+    infidelity = hilbert_schmidt_infidelity(
+        job.target, job.circuit.get_unitary(())
+    )
+    return FitOutcome(
+        params=np.empty(0),
+        infidelity=infidelity,
+        busy_seconds=time.perf_counter() - t0,
+        engine_call=False,
+    )
+
+
+class CandidateExecutor:
+    """Protocol: evaluate a batch of candidate fits against one pool."""
+
+    workers: int = 1
+    pool: EnginePool
+
+    def run(self, jobs: list[FitJob]) -> list[FitOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "CandidateExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SerialCandidateExecutor(CandidateExecutor):
+    """In-process batch evaluation through the shared engine pool."""
+
+    def __init__(self, pool: EnginePool):
+        self.pool = pool
+        self.workers = 1
+
+    def run(self, jobs: list[FitJob]) -> list[FitOutcome]:
+        outcomes = []
+        for job in jobs:
+            if job.circuit.num_params == 0:
+                outcomes.append(_constant_outcome(job))
+                continue
+            engine = self.pool.engine_for(job.circuit)
+            t0 = time.perf_counter()
+            result = engine.instantiate(
+                job.target, starts=job.starts, rng=job.seed, x0=job.x0
+            )
+            outcomes.append(
+                FitOutcome(
+                    params=result.params,
+                    infidelity=result.infidelity,
+                    busy_seconds=time.perf_counter() - t0,
+                    engine_call=True,
+                )
+            )
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+
+#: Rehydrated engines per (process, structure key): each worker pays
+#: one cheap rehydration (source exec + TNVM setup) per shape, then
+#: reuses the engine — including its lazily built batched VMs — for
+#: every later task on that shape.
+_WORKER_ENGINES: OrderedDict = OrderedDict()
+_WORKER_CAPACITY = 32
+
+#: One expression cache per worker process: engines rehydrated for
+#: different template shapes share their gate-level
+#: ``CompiledExpression`` objects (seeded from the payloads), so e.g.
+#: the batched writer variant of U3 is generated once per worker, not
+#: once per rehydrated engine.
+_WORKER_CACHE: ExpressionCache | None = None
+
+
+def _worker_expression_cache() -> ExpressionCache:
+    global _WORKER_CACHE
+    if _WORKER_CACHE is None:
+        _WORKER_CACHE = ExpressionCache()
+    return _WORKER_CACHE
+
+
+def _worker_fit(
+    key: tuple,
+    payload: bytes,
+    target: np.ndarray,
+    starts: int,
+    seed: int,
+    x0: np.ndarray | None,
+) -> tuple[np.ndarray, float, float]:
+    """Task body: rehydrate (or reuse) the shape's engine and fit."""
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        engine = Instantiater.from_serialized(
+            pickle.loads(payload), cache=_worker_expression_cache()
+        )
+        _WORKER_ENGINES[key] = engine
+        while len(_WORKER_ENGINES) > _WORKER_CAPACITY:
+            _WORKER_ENGINES.popitem(last=False)
+    else:
+        _WORKER_ENGINES.move_to_end(key)
+    t0 = time.perf_counter()
+    result = engine.instantiate(target, starts=starts, rng=seed, x0=x0)
+    return result.params, result.infidelity, time.perf_counter() - t0
+
+
+class ProcessCandidateExecutor(CandidateExecutor):
+    """Process-pool batch evaluation with shipped compiled engines.
+
+    The parent resolves every job through ``pool.engine_for`` exactly
+    like the serial executor (so AOT compiles happen once, here, and
+    the pool's hit/miss counters agree between serial and parallel
+    runs), then submits ``(structure key, pickled engine snapshot,
+    target, starts, seed, x0)`` tasks.  The process pool is created
+    lazily on first use and persists across batches, so worker-side
+    engine caches amortize across a whole synthesis pass.
+    """
+
+    def __init__(
+        self,
+        pool: EnginePool,
+        workers: int,
+        mp_context: str | None = None,
+    ):
+        if workers < 2:
+            raise ValueError("ProcessCandidateExecutor needs workers >= 2")
+        self.pool = pool
+        self.workers = workers
+        if mp_context is None:
+            # forkserver gives cheap per-worker forks from a clean
+            # server process (no inherited BLAS/OpenMP thread state, no
+            # 3.12+ fork-with-threads deprecation); fall back to plain
+            # fork, then to the platform default (spawn).  Either way,
+            # compiled engines travel via the pickled payload, never
+            # via inheritance.
+            methods = multiprocessing.get_all_start_methods()
+            for preferred in ("forkserver", "fork"):
+                if preferred in methods:
+                    mp_context = preferred
+                    break
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        # Engine-defining pool settings, folded into the worker-side
+        # engine key: if workers are ever shared across pools (e.g. a
+        # future cross-pass executor registry), a shape rehydrated
+        # under one pool's thresholds must not serve another's.
+        self._settings_key = (
+            pool.strategy,
+            pool.precision,
+            pool.success_threshold,
+            pool.lm_options,
+        )
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            ctx = (
+                multiprocessing.get_context(self._mp_context)
+                if self._mp_context is not None
+                else None
+            )
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._executor
+
+    def run(self, jobs: list[FitJob]) -> list[FitOutcome]:
+        outcomes: list[FitOutcome | None] = [None] * len(jobs)
+        submitted: list[tuple[int, object]] = []
+        executor = None
+        for i, job in enumerate(jobs):
+            if job.circuit.num_params == 0:
+                outcomes[i] = _constant_outcome(job)
+                continue
+            payload = self.pool.serialized_bytes(job.circuit)
+            if executor is None:
+                executor = self._ensure_executor()
+            future = executor.submit(
+                _worker_fit,
+                (self._settings_key, job.circuit.structure_key()),
+                payload,
+                job.target,
+                job.starts,
+                job.seed,
+                job.x0,
+            )
+            submitted.append((i, future))
+        try:
+            for i, future in submitted:
+                params, infidelity, busy = future.result()
+                outcomes[i] = FitOutcome(
+                    params=params,
+                    infidelity=infidelity,
+                    busy_seconds=busy,
+                    engine_call=True,
+                )
+        except BaseException:
+            # A dead worker leaves a ProcessPoolExecutor permanently
+            # broken; drop it so the next run() rebuilds a fresh pool
+            # instead of failing forever.
+            self.close()
+            raise
+        return outcomes  # type: ignore[return-value]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            # wait=True: the pool is idle (run() drains its futures),
+            # and a non-waiting shutdown races the management thread
+            # against pipe teardown, spraying harmless-but-noisy
+            # "Bad file descriptor" tracebacks at interpreter exit.
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+
+def make_executor(
+    pool: EnginePool,
+    workers: int = 1,
+    mp_context: str | None = None,
+) -> CandidateExecutor:
+    """The executor for a worker count: serial at 1, processes above."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        return SerialCandidateExecutor(pool)
+    return ProcessCandidateExecutor(pool, workers, mp_context=mp_context)

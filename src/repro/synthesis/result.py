@@ -23,6 +23,14 @@ class SynthesisResult:
     expansions for :class:`~repro.synthesis.SynthesisSearch`, deletion
     candidates for :class:`~repro.synthesis.Resynthesizer`, windows for
     :class:`~repro.synthesis.PartitionedSynthesizer`.
+
+    ``workers`` reports the candidate-executor width the pass ran with,
+    and ``parallel_efficiency`` the fraction of the theoretical
+    ``workers x evaluation-wall`` budget that engines actually spent
+    fitting (1.0 = perfect scaling; ``None`` when nothing was fitted).
+    Candidate seeds are derived per structure key, so the
+    circuit/params/infidelity/counter fields are bit-identical across
+    worker counts — only the wall/efficiency fields vary.
     """
 
     circuit: QuditCircuit
@@ -36,6 +44,8 @@ class SynthesisResult:
     wall_seconds: float = 0.0
     #: Per-window reports for partitioned passes (empty otherwise).
     windows: list["SynthesisResult"] = field(default_factory=list)
+    workers: int = 1
+    parallel_efficiency: float | None = None
 
     @property
     def gate_counts(self) -> dict[str, int]:

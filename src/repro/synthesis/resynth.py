@@ -12,6 +12,13 @@ qudits, synthesizing each window's unitary with a
 :class:`~repro.synthesis.SynthesisSearch`, and stitching the results
 back onto the full register with
 :meth:`QuditCircuit.append_circuit`.
+
+Both passes evaluate candidates through the same
+:class:`~repro.synthesis.executor.CandidateExecutor` layer as the
+search: a compression scan proceeds in *waves* of deletion candidates
+that are fitted as one batch (concurrently with ``workers > 1``), and
+every candidate's RNG seed derives from its structure key, so results
+are bit-identical across worker counts.
 """
 
 from __future__ import annotations
@@ -26,21 +33,50 @@ from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
 from ..utils.unitary import hilbert_schmidt_infidelity
+from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
 from .result import SynthesisResult
-from .search import SynthesisSearch, _pooled_fit, _resolve_pool
+from .search import (
+    SynthesisSearch,
+    _parallel_efficiency,
+    _resolve_pool,
+    _run_round,
+)
 
-__all__ = ["Resynthesizer", "PartitionedSynthesizer"]
+__all__ = ["Resynthesizer", "PartitionedSynthesizer", "SCAN_ORDERS"]
+
+#: Valid gate-deletion scan orders for :class:`Resynthesizer`.
+SCAN_ORDERS = ("backward", "forward", "entangler-first")
 
 
 class Resynthesizer:
     """Gate-deletion compression against a fixed target unitary.
 
-    Each pass scans the circuit back-to-front, tentatively deleting one
-    gate and re-instantiating the survivors (warm-started at their
+    Each pass scans the circuit in ``scan_order``, tentatively deleting
+    one gate and re-instantiating the survivors (warm-started at their
     current values) against the target; the first deletion that still
     fits is kept and the scan restarts.  The engine pool makes repeat
     shapes — common once several gates have been removed from a regular
     template — reuse their AOT compile.
+
+    ``scan_order`` selects which deletions are tried first:
+
+    * ``"backward"`` (default) — last-appended gate first;
+    * ``"forward"`` — first-appended gate first;
+    * ``"entangler-first"`` — multi-qudit gates (back to front), then
+      single-qudit gates: entangling blocks are both the expensive
+      gates on hardware and the most likely to be redundant in an
+      over-deep template, so trying them first tends to reach a
+      cheaper circuit in fewer accepted deletions.
+
+    ``scan_batch`` sets the wave size: that many deletion candidates
+    are fitted as one executor batch before the scan decides (``None``
+    = the whole scan as one wave).  The default of 1 reproduces the
+    fully short-circuiting serial scan; raise it to the worker count
+    (or ``None``) to trade some extra fits for concurrency.  The
+    accepted deletion is always the first fitting one in scan order,
+    and candidate seeds derive from structure keys, so for a given
+    ``scan_batch`` the outcome is bit-identical across worker counts
+    and batch scheduling.
     """
 
     def __init__(
@@ -52,25 +88,79 @@ class Resynthesizer:
         lm_options: LMOptions | None = None,
         pool: EnginePool | None = None,
         max_passes: int | None = None,
+        scan_order: str = "backward",
+        scan_batch: int | None = 1,
+        workers: int = 1,
+        executor: CandidateExecutor | None = None,
     ):
+        if scan_order not in SCAN_ORDERS:
+            raise ValueError(
+                f"scan_order must be one of {SCAN_ORDERS}, "
+                f"got {scan_order!r}"
+            )
+        if scan_batch is not None and scan_batch < 1:
+            raise ValueError("scan_batch must be >= 1 (or None)")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.success_threshold = success_threshold
         self.starts = starts
         self.max_passes = max_passes
+        self.scan_order = scan_order
+        self.scan_batch = scan_batch
         self.pool = _resolve_pool(
             pool, success_threshold, strategy, precision, lm_options
         )
+        if executor is not None and executor.pool is not self.pool:
+            raise ValueError(
+                "an injected executor must wrap the pass's engine pool"
+            )
+        if (
+            executor is not None
+            and workers != 1
+            and workers != executor.workers
+        ):
+            raise ValueError(
+                f"workers={workers} conflicts with the injected "
+                f"executor's {executor.workers} worker(s); pass one or "
+                "the other"
+            )
+        self.workers = executor.workers if executor is not None else workers
+        self._executor = executor
+        self._owns_executor = executor is None
 
-    def _fit(
-        self,
-        circuit: QuditCircuit,
-        target: np.ndarray,
-        rng: np.random.Generator,
-        x0: np.ndarray | None,
-        counters: dict,
-    ) -> tuple[np.ndarray, float]:
-        return _pooled_fit(
-            self.pool, circuit, target, self.starts, rng, x0, counters
-        )
+    @property
+    def executor(self) -> CandidateExecutor:
+        if self._executor is None:
+            self._executor = make_executor(self.pool, self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down worker processes this pass created."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "Resynthesizer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _scan_indices(self, circuit: QuditCircuit) -> list[int]:
+        """Deletion-candidate indices for one pass, in scan order."""
+        n = circuit.num_operations
+        if self.scan_order == "forward":
+            return list(range(n))
+        if self.scan_order == "backward":
+            return list(reversed(range(n)))
+        ops = list(circuit)
+        entangling = [
+            i for i in reversed(range(n)) if len(ops[i].location) > 1
+        ]
+        singles = [
+            i for i in reversed(range(n)) if len(ops[i].location) <= 1
+        ]
+        return entangling + singles
 
     def resynthesize(
         self,
@@ -90,12 +180,27 @@ class Resynthesizer:
         if target is None:
             target = circuit.get_unitary(params)
         rng = np.random.default_rng(rng)
+        base_seed = int(rng.integers(2**63))
         hits0, misses0 = self.pool.hits, self.pool.misses
-        counters = {"calls": 0, "examined": 0}
+        counters = {"calls": 0, "examined": 0, "busy": 0.0, "eval_wall": 0.0}
+        executor = self.executor
 
         current = circuit.copy()
         x0 = params if len(params) == current.num_params else None
-        cur_params, cur_inf = self._fit(current, target, rng, x0, counters)
+        [baseline] = _run_round(
+            executor,
+            [
+                FitJob(
+                    current,
+                    target,
+                    self.starts,
+                    candidate_seed(base_seed, current.structure_key()),
+                    x0,
+                )
+            ],
+            counters,
+        )
+        cur_params, cur_inf = baseline.params, baseline.infidelity
 
         improved = cur_inf <= self.success_threshold
         passes = 0
@@ -104,25 +209,40 @@ class Resynthesizer:
         ):
             improved = False
             passes += 1
-            for i in reversed(range(current.num_operations)):
-                if current.num_operations <= 1:
-                    break
-                candidate, kept = current.without_operation(i)
-                counters["examined"] += 1
-                cand_params, cand_inf = self._fit(
-                    candidate,
-                    target,
-                    rng,
-                    cur_params[list(kept)],
-                    counters,
-                )
-                if cand_inf <= self.success_threshold:
-                    current, cur_params, cur_inf = (
-                        candidate,
-                        cand_params,
-                        cand_inf,
+            if current.num_operations <= 1:
+                break
+            order = self._scan_indices(current)
+            batch = self.scan_batch or len(order)
+            for wave_start in range(0, len(order), batch):
+                wave = order[wave_start:wave_start + batch]
+                jobs: list[FitJob] = []
+                candidates: list[QuditCircuit] = []
+                for i in wave:
+                    candidate, kept = current.without_operation(i)
+                    jobs.append(
+                        FitJob(
+                            candidate,
+                            target,
+                            self.starts,
+                            candidate_seed(
+                                base_seed, candidate.structure_key()
+                            ),
+                            cur_params[list(kept)],
+                        )
                     )
-                    improved = True
+                    candidates.append(candidate)
+                counters["examined"] += len(wave)
+                outcomes = _run_round(executor, jobs, counters)
+                # Accept the first fitting deletion in scan order — the
+                # same winner regardless of how the wave was scheduled.
+                for candidate, outcome in zip(candidates, outcomes):
+                    if outcome.infidelity <= self.success_threshold:
+                        current = candidate
+                        cur_params = outcome.params
+                        cur_inf = outcome.infidelity
+                        improved = True
+                        break
+                if improved:
                     break  # rescan the shorter circuit
 
         return SynthesisResult(
@@ -135,6 +255,8 @@ class Resynthesizer:
             engine_cache_misses=self.pool.misses - misses0,
             nodes_expanded=counters["examined"],
             wall_seconds=time.perf_counter() - t0,
+            workers=executor.workers,
+            parallel_efficiency=_parallel_efficiency(executor, counters),
         )
 
 
@@ -219,17 +341,21 @@ class PartitionedSynthesizer:
                 f"got {len(params)}"
             )
         rng = np.random.default_rng(rng)
+        # Stable per-window seeds (index-derived, not draw-ordered), so
+        # a window's result does not depend on how many windows precede
+        # it or on how earlier windows were evaluated.
+        base_seed = int(rng.integers(2**63))
 
         out = QuditCircuit(circuit.radices)
         out_params: list[float] = []
         windows: list[SynthesisResult] = []
         all_solved = True
-        for wires, ops in self._partition(circuit):
+        for index, (wires, ops) in enumerate(self._partition(circuit)):
             sub = self._block_circuit(circuit, wires, ops, params)
             result = self.search.synthesize(
                 sub.get_unitary(()),
                 radices=sub.radices,
-                rng=int(rng.integers(2**32)),
+                rng=candidate_seed(base_seed, ("window", index)),
             )
             windows.append(result)
             if result.success:
@@ -256,6 +382,12 @@ class PartitionedSynthesizer:
             if len(out)
             else 0.0
         )
+        efficiencies = [
+            (w.parallel_efficiency, w.wall_seconds)
+            for w in windows
+            if w.parallel_efficiency is not None
+        ]
+        total_eff_wall = sum(wall for _, wall in efficiencies)
         return SynthesisResult(
             circuit=out,
             params=final_params,
@@ -269,4 +401,11 @@ class PartitionedSynthesizer:
             nodes_expanded=sum(w.nodes_expanded for w in windows),
             wall_seconds=time.perf_counter() - t0,
             windows=windows,
+            workers=self.search.workers,
+            parallel_efficiency=(
+                sum(eff * wall for eff, wall in efficiencies)
+                / total_eff_wall
+                if total_eff_wall > 0
+                else None
+            ),
         )

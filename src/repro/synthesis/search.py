@@ -18,7 +18,14 @@ The instantiation inner loop is where the paper's machinery composes:
   template shape is paid once per shape, not once per candidate — and
   frontier candidates that share a template shape collapse onto the
   same engine (identical-shape duplicates are not re-instantiated at
-  all, via the visited set).
+  all, via the visited set);
+* candidates are evaluated in *rounds* — every successor of up to
+  ``expansion_width`` frontier expansions forms one batch handed to a
+  :class:`~repro.synthesis.executor.CandidateExecutor`, so with
+  ``workers > 1`` the whole round runs concurrently on processes that
+  rehydrate the pool's already-compiled engines.  Per-candidate RNG
+  seeds derive from the candidate's structure key, so results are
+  bit-identical across worker counts and evaluation orders.
 """
 
 from __future__ import annotations
@@ -33,7 +40,7 @@ from ..circuit.circuit import QuditCircuit
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
-from ..utils.unitary import hilbert_schmidt_infidelity
+from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
 from .layers import LayerGenerator, QSearchLayerGenerator
 from .result import SynthesisResult
 
@@ -80,33 +87,36 @@ def _resolve_pool(
     )
 
 
-def _pooled_fit(
-    pool: EnginePool,
-    circuit: QuditCircuit,
-    target: np.ndarray,
-    starts: int,
-    rng: np.random.Generator,
-    x0: np.ndarray | None,
+def _run_round(
+    executor: CandidateExecutor,
+    jobs: list[FitJob],
     counters: dict,
-) -> tuple[np.ndarray, float]:
-    """Fit one candidate through its pooled engine (the shared inner
-    loop of the search and resynthesis passes); returns
-    ``(params, infidelity)``.  A fully constant candidate has nothing
-    to optimize and is evaluated directly, without counting a call."""
-    if circuit.num_params == 0:
-        return (
-            np.empty(0),
-            hilbert_schmidt_infidelity(target, circuit.get_unitary(())),
-        )
-    engine = pool.engine_for(circuit)
-    result = engine.instantiate(
-        target,
-        starts=starts,
-        rng=int(rng.integers(2**32)),
-        x0=x0,
-    )
-    counters["calls"] += 1
-    return result.params, result.infidelity
+):
+    """Evaluate one round of candidate fits and update the pass
+    counters (shared by the search and resynthesis passes).
+
+    ``calls`` counts engine invocations (constant candidates have
+    nothing to optimize and are evaluated directly, without counting);
+    ``busy``/``eval_wall`` feed the ``parallel_efficiency`` report.
+    """
+    t0 = time.perf_counter()
+    outcomes = executor.run(jobs)
+    counters["eval_wall"] += time.perf_counter() - t0
+    for outcome in outcomes:
+        counters["busy"] += outcome.busy_seconds
+        if outcome.engine_call:
+            counters["calls"] += 1
+    return outcomes
+
+
+def _parallel_efficiency(
+    executor: CandidateExecutor, counters: dict
+) -> float | None:
+    """Engine busy time over the ``workers x wall`` evaluation budget."""
+    eval_wall = counters["eval_wall"]
+    if eval_wall <= 0.0:
+        return None
+    return counters["busy"] / (executor.workers * eval_wall)
 
 
 def infer_radices(dim: int) -> tuple[int, ...]:
@@ -151,6 +161,15 @@ class SynthesisSearch:
     Budgets: ``max_layers`` caps template depth, ``max_expansions`` caps
     frontier pops, so a search on an unreachable target terminates with
     the best candidate found (``success=False``).
+
+    Parallelism: every round pops up to ``expansion_width`` frontier
+    nodes, and *all* their successors are evaluated as one batch
+    through the candidate executor — ``workers`` processes when > 1.
+    ``expansion_width`` (not ``workers``) defines the search
+    trajectory, so any two runs with the same width return bit-identical
+    results regardless of worker count; widen it (typically to the
+    worker count or a small multiple of the grammar's branching factor)
+    to give the executor enough concurrent candidates per round.
     """
 
     def __init__(
@@ -167,11 +186,18 @@ class SynthesisSearch:
         lm_options: LMOptions | None = None,
         pool: EnginePool | None = None,
         warm_start: bool = True,
+        workers: int = 1,
+        expansion_width: int = 1,
+        executor: CandidateExecutor | None = None,
     ):
         if not callable(heuristic) and heuristic not in ("astar", "dijkstra"):
             raise ValueError(
                 "heuristic must be 'astar', 'dijkstra', or a callable"
             )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if expansion_width < 1:
+            raise ValueError("expansion_width must be >= 1")
         self.layer_generator = layer_generator or QSearchLayerGenerator()
         self.success_threshold = success_threshold
         self.heuristic = heuristic
@@ -180,12 +206,52 @@ class SynthesisSearch:
         self.max_expansions = max_expansions
         self.starts = starts
         self.warm_start = warm_start
+        self.expansion_width = expansion_width
         #: The engine pool persists across ``synthesize`` calls, so a
         #: search object reused for many targets pays each template
         #: shape's AOT compile once (the Listing 3 amortization).
         self.pool = _resolve_pool(
             pool, success_threshold, strategy, precision, lm_options
         )
+        if executor is not None and executor.pool is not self.pool:
+            raise ValueError(
+                "an injected executor must wrap the search's engine pool"
+            )
+        if (
+            executor is not None
+            and workers != 1
+            and workers != executor.workers
+        ):
+            raise ValueError(
+                f"workers={workers} conflicts with the injected "
+                f"executor's {executor.workers} worker(s); pass one or "
+                "the other"
+            )
+        self.workers = executor.workers if executor is not None else workers
+        self._executor = executor
+        self._owns_executor = executor is None
+
+    @property
+    def executor(self) -> CandidateExecutor:
+        """The candidate executor (built lazily so serial searches and
+        unpicklable process machinery never mix)."""
+        if self._executor is None:
+            self._executor = make_executor(self.pool, self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down worker processes this search created (no-op for
+        serial searches and injected executors, which their owner
+        closes)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "SynthesisSearch":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _priority(self, infidelity: float, layers: int) -> float:
@@ -194,19 +260,6 @@ class SynthesisSearch:
         if self.heuristic == "dijkstra":
             return float(layers)
         return layers + self.heuristic_weight * infidelity
-
-    def _evaluate(
-        self,
-        circuit: QuditCircuit,
-        target: np.ndarray,
-        rng: np.random.Generator,
-        x0: np.ndarray | None,
-        counters: dict,
-    ) -> tuple[np.ndarray, float]:
-        """Fit one candidate; returns (params, infidelity)."""
-        return _pooled_fit(
-            self.pool, circuit, target, self.starts, rng, x0, counters
-        )
 
     def synthesize(
         self,
@@ -234,8 +287,13 @@ class SynthesisSearch:
                 f"dimension {target.shape[0]}"
             )
         rng = np.random.default_rng(rng)
+        # One base seed per pass; every candidate derives its own seed
+        # from this and its structure key, so results do not depend on
+        # the order candidates are drawn or scheduled in.
+        base_seed = int(rng.integers(2**63))
         hits0, misses0 = self.pool.hits, self.pool.misses
-        counters = {"calls": 0, "expanded": 0}
+        counters = {"calls": 0, "expanded": 0, "busy": 0.0, "eval_wall": 0.0}
+        executor = self.executor
 
         def finish(node: _Node, success: bool) -> SynthesisResult:
             return SynthesisResult(
@@ -248,14 +306,27 @@ class SynthesisSearch:
                 engine_cache_misses=self.pool.misses - misses0,
                 nodes_expanded=counters["expanded"],
                 wall_seconds=time.perf_counter() - t0,
+                workers=executor.workers,
+                parallel_efficiency=_parallel_efficiency(executor, counters),
             )
 
         root_circuit = self.layer_generator.initial(radices)
-        params, infidelity = self._evaluate(
-            root_circuit, target, rng, None, counters
+        [root_outcome] = _run_round(
+            executor,
+            [
+                FitJob(
+                    root_circuit,
+                    target,
+                    self.starts,
+                    candidate_seed(base_seed, root_circuit.structure_key()),
+                )
+            ],
+            counters,
         )
-        root = _Node(root_circuit, params, infidelity, layers=0)
-        if infidelity <= self.success_threshold:
+        root = _Node(
+            root_circuit, root_outcome.params, root_outcome.infidelity, 0
+        )
+        if root.infidelity <= self.success_threshold:
             return finish(root, True)
 
         best = root
@@ -265,36 +336,72 @@ class SynthesisSearch:
             (self._priority(root.infidelity, 0), tick, root)
         ]
         while frontier and counters["expanded"] < self.max_expansions:
-            _, _, node = heapq.heappop(frontier)
-            if node.layers >= self.max_layers:
-                continue
-            counters["expanded"] += 1
-            for child in self.layer_generator.successors(node.circuit):
-                key = child.structure_key()
-                if key in visited:
-                    continue  # same template shape already instantiated
-                visited.add(key)
-                x0 = None
-                if self.warm_start and child.num_params >= len(node.params):
-                    # Seed start 0 at the parent optimum, new gates at
-                    # zero (identity for the default single-qudit gates).
-                    x0 = np.concatenate(
-                        [node.params,
-                         np.zeros(child.num_params - len(node.params))]
+            # Assemble one round: up to expansion_width frontier pops
+            # (bounded by the remaining expansion budget), skipping
+            # nodes already at the depth cap.
+            width = min(
+                self.expansion_width,
+                self.max_expansions - counters["expanded"],
+            )
+            parents: list[_Node] = []
+            while frontier and len(parents) < width:
+                _, _, node = heapq.heappop(frontier)
+                if node.layers >= self.max_layers:
+                    continue
+                parents.append(node)
+            if not parents:
+                break
+            counters["expanded"] += len(parents)
+
+            jobs: list[FitJob] = []
+            meta: list[tuple[QuditCircuit, _Node]] = []
+            for node in parents:
+                for child in self.layer_generator.successors(node.circuit):
+                    key = child.structure_key()
+                    if key in visited:
+                        continue  # same template shape already instantiated
+                    visited.add(key)
+                    x0 = None
+                    if (
+                        self.warm_start
+                        and child.num_params >= len(node.params)
+                    ):
+                        # Seed start 0 at the parent optimum, new gates
+                        # at zero (identity for the default singles).
+                        x0 = np.concatenate(
+                            [node.params,
+                             np.zeros(child.num_params - len(node.params))]
+                        )
+                    jobs.append(
+                        FitJob(
+                            child,
+                            target,
+                            self.starts,
+                            candidate_seed(base_seed, key),
+                            x0,
+                        )
                     )
-                params, infidelity = self._evaluate(
-                    child, target, rng, x0, counters
+                    meta.append((child, node))
+
+            # The whole round evaluates as one batch (concurrently when
+            # workers > 1); outcomes are then scanned in deterministic
+            # job order, so the first success is the same no matter how
+            # the batch was scheduled.
+            outcomes = _run_round(executor, jobs, counters)
+            for (child, parent), outcome in zip(meta, outcomes):
+                child_node = _Node(
+                    child, outcome.params, outcome.infidelity,
+                    parent.layers + 1,
                 )
-                child_node = _Node(child, params, infidelity, node.layers + 1)
-                if infidelity <= self.success_threshold:
+                if outcome.infidelity <= self.success_threshold:
                     return finish(child_node, True)
-                if infidelity < best.infidelity:
+                if outcome.infidelity < best.infidelity:
                     best = child_node
                 tick += 1
                 heapq.heappush(
                     frontier,
                     (
-                        self._priority(infidelity, child_node.layers),
+                        self._priority(outcome.infidelity, child_node.layers),
                         tick,
                         child_node,
                     ),

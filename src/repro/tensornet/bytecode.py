@@ -12,6 +12,7 @@ instruction for forward-mode automatic differentiation.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 
 from ..symbolic.matrix import ExpressionMatrix
@@ -113,6 +114,31 @@ class Program:
 
     def unique_expression_count(self) -> int:
         return len(self.expressions)
+
+    # ------------------------------------------------------------------
+    # Serialization (engine-pool sharing across processes)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """A compact, process-portable serialized form.
+
+        Instructions and buffer specs are plain dataclasses and the
+        expression matrices pickle through the symbolic layer's
+        re-interning reducers, so a program AOT-compiled in one process
+        can be shipped to a worker and rehydrated with
+        :meth:`from_bytes` instead of re-paying the compile there.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Program":
+        """Rehydrate a program serialized with :meth:`to_bytes`."""
+        program = pickle.loads(data)
+        if not isinstance(program, Program):
+            raise TypeError(
+                f"serialized object is {type(program).__name__}, "
+                "not a Program"
+            )
+        return program
 
     def disassemble(self) -> str:
         """Human-readable listing of both sections."""

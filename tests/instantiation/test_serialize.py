@@ -1,0 +1,176 @@
+"""Tests for compiled-engine serialization (cross-process sharing).
+
+The contract: a compiled TNVM program / engine serialized in one
+process and rehydrated in another produces bit-identical costs and
+gradients to a freshly compiled one, without re-paying any of the AOT
+pipeline (lowering, pathfinding, differentiation, e-graph, codegen).
+"""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_qsearch_ansatz, gates
+from repro.instantiation import EnginePool, Instantiater, SerializedEngine
+from repro.jit.cache import ExpressionCache
+from repro.tensornet.bytecode import Program
+from repro.tnvm.vm import TNVM
+
+
+@pytest.fixture()
+def circuit():
+    return build_qsearch_ansatz(2, 2, 2)
+
+
+@pytest.fixture()
+def target(circuit):
+    p = np.random.default_rng(3).uniform(-np.pi, np.pi, circuit.num_params)
+    return circuit.get_unitary(p)
+
+
+class TestProgramSerialization:
+    def test_round_trip_validates(self, circuit):
+        program = circuit.compile()
+        clone = Program.from_bytes(program.to_bytes())
+        clone.validate()
+        assert clone.num_params == program.num_params
+        assert clone.radices == program.radices
+        assert clone.output_shape == program.output_shape
+        assert len(clone.buffers) == len(program.buffers)
+        assert clone.const_section == program.const_section
+        assert clone.dynamic_section == program.dynamic_section
+
+    def test_rehydrated_vm_bit_identical(self, circuit):
+        program = circuit.compile()
+        clone = Program.from_bytes(program.to_bytes())
+        params = np.random.default_rng(0).uniform(
+            -np.pi, np.pi, circuit.num_params
+        )
+        u1, g1 = TNVM(program).evaluate_with_grad(params)
+        u2, g2 = TNVM(clone).evaluate_with_grad(params)
+        assert np.array_equal(u1, u2)
+        assert np.array_equal(g1, g2)
+
+    def test_from_bytes_rejects_non_program(self):
+        with pytest.raises(TypeError):
+            Program.from_bytes(pickle.dumps([1, 2, 3]))
+
+
+class TestCompiledExpressionSerialization:
+    def test_round_trip_bit_identical(self):
+        compiled = ExpressionCache().get(gates.u3().matrix)
+        clone = pickle.loads(pickle.dumps(compiled))
+        p = np.random.default_rng(1).uniform(-np.pi, np.pi, 3)
+        u1, g1 = compiled.unitary_and_grad(p)
+        u2, g2 = clone.unitary_and_grad(p)
+        assert np.array_equal(u1, u2)
+        assert np.array_equal(g1, g2)
+        assert clone.source == compiled.source
+        assert clone.total_cost == compiled.total_cost
+
+    def test_batched_writer_survives(self):
+        compiled = ExpressionCache().get(gates.u3().matrix)
+        _ = compiled.write_batched  # generate before pickling
+        clone = pickle.loads(pickle.dumps(compiled))
+        rows = np.random.default_rng(2).uniform(-np.pi, np.pi, (3, 4))
+        for c in (compiled, clone):
+            out = np.zeros((2, 2, 4), dtype=np.complex128)
+            grad = np.zeros((3, 2, 2, 4), dtype=np.complex128)
+            c.write_batched(rows, out, grad)
+            scalar = c.unitary(rows[:, 0])
+            assert np.allclose(out[..., 0], scalar)
+
+    def test_cache_put_seeds_hits(self):
+        compiled = pickle.loads(
+            pickle.dumps(ExpressionCache().get(gates.u3().matrix))
+        )
+        cache = ExpressionCache()
+        cache.put(compiled)
+        assert cache.get(gates.u3().matrix) is compiled
+        assert cache.hits == 1
+        assert cache.misses == 0
+
+
+class TestEngineSerialization:
+    def test_round_trip_no_recompile(self, circuit, target):
+        engine = Instantiater(circuit, strategy="auto")
+        payload = pickle.loads(pickle.dumps(engine.serialize()))
+        assert isinstance(payload, SerializedEngine)
+        cache = ExpressionCache()
+        clone = Instantiater.from_serialized(payload, cache=cache)
+        # Every expression the TNVM needed was seeded: zero misses.
+        assert cache.misses == 0
+        assert cache.hits == len(engine.program.expressions)
+        r1 = engine.instantiate(target, starts=8, rng=42)
+        r2 = clone.instantiate(target, starts=8, rng=42)
+        assert np.array_equal(r1.params, r2.params)
+        assert r1.infidelity == r2.infidelity
+        assert r1.starts_used == r2.starts_used
+
+    def test_round_trip_sequential_strategy(self, circuit, target):
+        engine = Instantiater(circuit, strategy="sequential")
+        clone = Instantiater.from_serialized(
+            pickle.loads(pickle.dumps(engine.serialize()))
+        )
+        r1 = engine.instantiate(target, starts=2, rng=5)
+        r2 = clone.instantiate(target, starts=2, rng=5)
+        assert np.array_equal(r1.params, r2.params)
+        assert r1.infidelity == r2.infidelity
+
+    def test_rehydrated_in_child_process(self, circuit, target):
+        # The acceptance-bar scenario: serialize here, rehydrate in a
+        # *spawned* interpreter (no inherited state), compare numbers.
+        payload_bytes = pickle.dumps(Instantiater(circuit).serialize())
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(
+                _child_instantiate, (payload_bytes, target)
+            )
+        parent = Instantiater(circuit).instantiate(target, starts=4, rng=9)
+        child_params, child_infidelity = child
+        assert np.array_equal(parent.params, child_params)
+        assert parent.infidelity == child_infidelity
+
+    def test_pool_payload_cached_per_shape(self, circuit):
+        pool = EnginePool()
+        first = pool.serialized_bytes(circuit)
+        again = pool.serialized_bytes(circuit.copy())
+        assert first is again  # one serialization per structure key
+        assert pool.misses == 1
+        assert pool.hits == 1  # the repeat resolved through the LRU
+
+    def test_evicted_engine_rehydrates_from_payload(self, target):
+        # Once a shape is serialized, LRU eviction must not force a
+        # fresh AOT compile: the pool rehydrates from the snapshot.
+        pool = EnginePool(capacity=1)
+        circ_a = build_qsearch_ansatz(2, 2, 2)
+        circ_b = build_qsearch_ansatz(2, 1, 2)
+        before = pool.engine_for(circ_a).instantiate(target, starts=4, rng=1)
+        pool.serialized_bytes(circ_a)
+        pool.engine_for(circ_b)  # evicts circ_a's engine
+        revived = pool.engine_for(circ_a)
+        # Rehydrated engines are program-backed (no circuit attached) —
+        # the observable marker that no recompile happened.
+        assert revived.circuit is None
+        assert pool.misses == 3
+        after = revived.instantiate(target, starts=4, rng=1)
+        assert np.array_equal(before.params, after.params)
+        assert before.infidelity == after.infidelity
+
+    def test_program_only_engine_needs_no_circuit(self, circuit, target):
+        program = circuit.compile()
+        engine = Instantiater(program=program)
+        result = engine.instantiate(target, starts=2, rng=0)
+        assert result.params.shape == (circuit.num_params,)
+        with pytest.raises(ValueError):
+            Instantiater()
+
+
+def _child_instantiate(payload_bytes, target):
+    from repro.instantiation import Instantiater as ChildInstantiater
+
+    engine = ChildInstantiater.from_serialized(pickle.loads(payload_bytes))
+    result = engine.instantiate(target, starts=4, rng=9)
+    return result.params, result.infidelity

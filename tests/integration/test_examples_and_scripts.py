@@ -13,6 +13,7 @@ SCRIPTS = sorted(
     + [
         ROOT / "benchmarks" / "run_fig4.py",
         ROOT / "benchmarks" / "run_instantiation.py",
+        ROOT / "benchmarks" / "run_synthesis.py",
     ]
 )
 

@@ -84,6 +84,53 @@ class TestResynthesizer:
         )
 
 
+class TestScanOrders:
+    def test_invalid_scan_order_rejected(self):
+        with pytest.raises(ValueError):
+            Resynthesizer(scan_order="random")
+        with pytest.raises(ValueError):
+            Resynthesizer(scan_batch=0)
+
+    def test_scan_index_orders(self):
+        deep = build_qsearch_ansatz(2, 2, 2)  # s s | e s s | e s s
+        n = deep.num_operations
+        ops = list(deep)
+        entanglers = [i for i in range(n) if len(ops[i].location) > 1]
+        backward = Resynthesizer(scan_order="backward")._scan_indices(deep)
+        forward = Resynthesizer(scan_order="forward")._scan_indices(deep)
+        ent_first = Resynthesizer(
+            scan_order="entangler-first"
+        )._scan_indices(deep)
+        assert backward == list(reversed(range(n)))
+        assert forward == list(range(n))
+        assert sorted(ent_first) == list(range(n))
+        # Every entangling block is tried before any single-qudit gate,
+        # back to front within each group.
+        assert ent_first[: len(entanglers)] == sorted(
+            entanglers, reverse=True
+        )
+
+    def test_entangler_first_compresses(self):
+        shallow = build_qsearch_ansatz(2, 1, 2)
+        target, _ = reachable_target(shallow, 66)
+        deep = build_qsearch_ansatz(2, 3, 2)
+        result = Resynthesizer(scan_order="entangler-first").resynthesize(
+            deep, target=target, rng=0
+        )
+        assert result.success
+        assert result.count("CX") <= 1
+        assert result.circuit.num_operations < deep.num_operations
+
+    def test_forward_scan_compresses(self):
+        circ = build_qsearch_ansatz(2, 2, 2)
+        target, p = reachable_target(circ, 67)
+        result = Resynthesizer(scan_order="forward").resynthesize(
+            circ, params=p, rng=1
+        )
+        assert result.success
+        assert result.circuit.num_operations <= circ.num_operations
+
+
 class TestPartitionedSynthesizer:
     def test_three_qubit_circuit_in_two_qubit_windows(self):
         circ = build_qsearch_ansatz(3, 2, 2)
