@@ -8,6 +8,8 @@ Usage::
         --json BENCH_synthesis.json                          # CI smoke artifact
     python benchmarks/run_synthesis.py --compare-workers 1,4 \
         --random-targets 1 --json BENCH_parallel_synthesis.json
+    python benchmarks/run_synthesis.py --backends closures,fused \
+        --random-targets 2 --json BENCH_backend_synthesis.json
 
 Default mode synthesizes the 2-qubit QFT plus ``--random-targets``
 seeded Haar-random 2-qubit unitaries with
@@ -313,6 +315,92 @@ def compare_workers_suite(args, worker_counts: list[int]) -> None:
         print(f"wrote {args.json}")
 
 
+def compare_backends_suite(args, backends: list[str]) -> None:
+    """Serial synthesis once per TNVM backend, bit-identity checked.
+
+    The fused megakernel backend must return exactly the closures
+    backend's ``SynthesisResult`` (same circuit, params, infidelity,
+    call counts) — the backend is an execution detail — while spending
+    measurably less wall time in the instantiation inner loop.
+    """
+    targets = [("qft2", build_qft_circuit(2).get_unitary(()))]
+    targets += [
+        (f"random-{k}", random_unitary(4, rng=args.seed_base + k))
+        for k in range(args.random_targets)
+    ]
+    deep = build_qsearch_ansatz(2, 3, 2)
+    shallow = build_qsearch_ansatz(2, 1, 2)
+    compress_target = shallow.get_unitary(
+        np.random.default_rng(42).uniform(-np.pi, np.pi, shallow.num_params)
+    )
+
+    print(f"backend comparison: {len(targets)} 2-qubit targets + "
+          f"resynthesis, backends {backends}, {args.starts} starts\n")
+    print(f"{'backend':<10} {'solved':>6} {'calls':>6} {'seconds':>8} "
+          f"{'speedup':>8} {'identical':>9}")
+
+    runs = []
+    reference = None
+    identical = True
+    for backend in backends:
+        search = SynthesisSearch(starts=args.starts, backend=backend)
+        t0 = time.perf_counter()
+        results = [search.synthesize(t, rng=k)
+                   for k, (_, t) in enumerate(targets)]
+        compressed = Resynthesizer(
+            starts=args.starts, pool=search.pool, executor=search.executor
+        ).resynthesize(deep, target=compress_target, rng=5)
+        wall = time.perf_counter() - t0
+        search.close()
+        snapshot = [
+            (
+                r.circuit.structure_key(),
+                tuple(np.asarray(r.params).tolist()),
+                r.infidelity,
+                r.instantiation_calls,
+            )
+            for r in results + [compressed]
+        ]
+        if reference is None:
+            reference = snapshot
+        else:
+            identical = identical and snapshot == reference
+        row = {
+            "backend": backend,
+            "solved": sum(r.success for r in results),
+            "targets": len(results),
+            "resynthesis_solved": compressed.success,
+            "instantiation_calls": sum(
+                r.instantiation_calls for r in results
+            ) + compressed.instantiation_calls,
+            "wall_seconds": wall,
+            "speedup_vs_first": (
+                runs[0]["wall_seconds"] / wall if runs else 1.0
+            ),
+        }
+        runs.append(row)
+        print(f"{backend:<10} {row['solved']:>4}/{row['targets']} "
+              f"{row['instantiation_calls']:>6} {wall:>8.2f} "
+              f"{row['speedup_vs_first']:>7.2f}x {str(identical):>9}")
+
+    report = {
+        "mode": "backend-comparison",
+        "starts": args.starts,
+        "backends": backends,
+        "identical_across_backends": identical,
+        "runs": runs,
+    }
+    print(f"\ncomparison: identical={identical}, "
+          + ", ".join(
+              f"{r['backend']} -> {r['speedup_vs_first']:.2f}x"
+              for r in runs[1:]
+          ))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--random-targets", type=int, default=5)
@@ -340,6 +428,13 @@ def main() -> None:
         "counts (e.g. 1,4) instead of the default suite",
     )
     parser.add_argument(
+        "--backends",
+        default="",
+        metavar="B,B",
+        help="run the TNVM-backend comparison over these backends "
+        "(e.g. closures,fused) instead of the default suite",
+    )
+    parser.add_argument(
         "--json",
         default="",
         metavar="PATH",
@@ -348,6 +443,8 @@ def main() -> None:
     )
     args = parser.parse_args()
 
+    if args.compare_workers and args.backends:
+        parser.error("--compare-workers and --backends are exclusive")
     if args.compare_workers:
         worker_counts = [
             int(tok) for tok in args.compare_workers.split(",") if tok
@@ -355,6 +452,11 @@ def main() -> None:
         if len(worker_counts) < 2:
             parser.error("--compare-workers needs at least two counts")
         compare_workers_suite(args, worker_counts)
+    elif args.backends:
+        backends = [tok.strip() for tok in args.backends.split(",") if tok]
+        if len(backends) < 2:
+            parser.error("--backends needs at least two backends")
+        compare_backends_suite(args, backends)
     else:
         default_suite(args)
 

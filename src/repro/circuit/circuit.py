@@ -476,7 +476,8 @@ class QuditCircuit:
                 cache=cache,
             )
             self._vm_cache[key] = vm
-        return vm.evaluate(tuple(params)).copy()
+        # The VM's writers index any sequence; no re-tupling needed.
+        return vm.evaluate(params).copy()
 
     def __repr__(self) -> str:
         return (

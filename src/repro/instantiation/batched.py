@@ -57,11 +57,13 @@ class BatchedInstantiater:
         success_threshold: float = SUCCESS_THRESHOLD,
         lm_options: LMOptions | None = None,
         program=None,
+        backend: str = "auto",
     ):
         if circuit is None and program is None:
             raise ValueError("pass a circuit or an AOT-compiled program")
         start = time.perf_counter()
         self.circuit = circuit
+        self.backend = backend
         # ``program`` lets an owning Instantiater share its compiled
         # bytecode instead of paying the AOT compile twice (and is the
         # only shape source for engines rehydrated in worker processes).
@@ -88,6 +90,7 @@ class BatchedInstantiater:
                 precision=self.precision,
                 diff=Differentiation.GRADIENT,
                 cache=self.cache,
+                backend=self.backend,
             )
             self.aot_seconds += time.perf_counter() - t0
             self._vms[batch] = vm

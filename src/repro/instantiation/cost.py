@@ -54,14 +54,18 @@ class HilbertSchmidtResiduals:
         self.num_residuals = 2 * dim * dim
 
     # ------------------------------------------------------------------
+    # ``params`` passes straight through to the VM (the writers index
+    # any sequence), and the overlap trace is the O(D^2) elementwise
+    # form ``sum(conj(target) * u)`` — ``Tr(T^dag U)`` without the
+    # O(D^3) matmul, mirroring the batched path's einsum.
     def cost(self, params: np.ndarray) -> float:
         """The Eq. (1) infidelity at ``params`` (no gradient work)."""
-        u = self.vm.evaluate(tuple(params))
-        trace = np.trace(self.target.conj().T @ u)
+        u = self.vm.evaluate(params)
+        trace = np.vdot(self.target, u)
         return float(1.0 - abs(trace) / self.dim)
 
     def residuals(self, params: np.ndarray) -> np.ndarray:
-        u = self.vm.evaluate(tuple(params))
+        u = self.vm.evaluate(params)
         diff = u - self._aligned_target(u)
         return np.concatenate([diff.real.ravel(), diff.imag.ravel()])
 
@@ -69,7 +73,7 @@ class HilbertSchmidtResiduals:
         self, params: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Residual vector (2D^2,) and Jacobian (2D^2, P)."""
-        u, grad = self.vm.evaluate_with_grad(tuple(params))
+        u, grad = self.vm.evaluate_with_grad(params)
         diff = u - self._aligned_target(u)
         r = np.concatenate([diff.real.ravel(), diff.imag.ravel()])
         # Explicit column count: reshape(0, -1) is invalid, and a
@@ -79,7 +83,7 @@ class HilbertSchmidtResiduals:
         return r, np.ascontiguousarray(jac)
 
     def _aligned_target(self, u: np.ndarray) -> np.ndarray:
-        trace = np.trace(self.target.conj().T @ u)
+        trace = np.vdot(self.target, u)
         mag = abs(trace)
         phase = trace / mag if mag > 1e-300 else 1.0
         return phase * self.target

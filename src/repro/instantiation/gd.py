@@ -53,14 +53,16 @@ class InfidelityFunction:
         if vm.diff is not Differentiation.GRADIENT:
             raise ValueError("InfidelityFunction requires a GRADIENT TNVM")
         self.vm = vm
-        self.target_dag = np.asarray(target, dtype=np.complex128).conj().T
+        self.target = np.asarray(target, dtype=np.complex128)
+        self.target_dag = self.target.conj().T
         self.dim = vm.dim
 
     def value_and_grad(
         self, params: np.ndarray
     ) -> tuple[float, np.ndarray]:
-        u, du = self.vm.evaluate_with_grad(tuple(params))
-        t = np.trace(self.target_dag @ u)
+        u, du = self.vm.evaluate_with_grad(params)
+        # O(D^2) elementwise overlap, not the O(D^3) trace-of-matmul.
+        t = np.vdot(self.target, u)
         mag = abs(t)
         value = 1.0 - mag / self.dim
         if mag < 1e-300:

@@ -20,6 +20,13 @@ from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache
 from ..jit.compiled import CompiledExpression
 from ..tensornet.bytecode import Program
+from ..tnvm.fused import (
+    BACKENDS,
+    attach_fused_kernels,
+    cached_fused_kernels,
+    fused_kernel_for,
+    resolve_backend,
+)
 from ..tnvm.vm import TNVM, Differentiation
 from .cost import HilbertSchmidtResiduals, infidelity_from_cost
 from .lm import LMOptions, LMResult, levenberg_marquardt
@@ -109,6 +116,12 @@ class SerializedEngine:
     success_threshold: float
     lm_options: LMOptions
     strategy: str
+    #: TNVM execution backend ("closures"/"fused"/"auto").
+    backend: str = "auto"
+    #: ``((grad, batched), FusedKernel)`` pairs: the generated megakernel
+    #: sources, shipped so workers rehydrate with ``compile()`` instead
+    #: of re-fusing the program (see :mod:`repro.tnvm.fused`).
+    fused_kernels: tuple = ()
 
 
 @dataclass
@@ -147,15 +160,21 @@ class Instantiater:
         lm_options: LMOptions | None = None,
         strategy: str = "sequential",
         program: Program | None = None,
+        backend: str = "auto",
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
                 f"strategy must be one of {STRATEGIES}, got {strategy!r}"
             )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         if circuit is None and program is None:
             raise ValueError("pass a circuit or an AOT-compiled program")
         start = time.perf_counter()
         self.strategy = strategy
+        self.backend = backend
         self.circuit = circuit
         self.precision = precision
         self.cache = cache
@@ -191,6 +210,7 @@ class Instantiater:
                 precision=self.precision,
                 diff=Differentiation.GRADIENT,
                 cache=self.cache,
+                backend=self.backend,
             )
             self.aot_seconds += time.perf_counter() - t0
         return self._vm
@@ -207,6 +227,7 @@ class Instantiater:
                 success_threshold=self.success_threshold,
                 lm_options=self.lm_options,
                 program=self.program,
+                backend=self.backend,
             )  # circuit may be None; the shared program carries the shape
             # The bytecode was compiled by *this* engine; report one
             # combined AOT figure rather than double-counting zero.
@@ -235,6 +256,27 @@ class Instantiater:
             for expr in compiled:
                 if expr.num_params > 0:
                     _ = expr.write_batched
+        # Pre-fuse exactly the megakernel variants the receiving
+        # engine will execute, so workers rehydrate generated source
+        # with compile() instead of re-walking the program — and ship
+        # only those: a shared Program may carry kernels cached by
+        # *other* engines (e.g. a fused sibling of a closures engine),
+        # which would bloat this engine's payload for nothing.
+        wanted: set[tuple[bool, bool]] = set()
+        if resolve_backend(self.backend, self.program.dim) == "fused":
+            fused_kernel_for(
+                self.program, list(compiled), grad=True, batched=False
+            )
+            wanted.add((True, False))
+        if (
+            self.strategy != "sequential"
+            and resolve_backend(self.backend, self.program.dim, batched=True)
+            == "fused"
+        ):
+            fused_kernel_for(
+                self.program, list(compiled), grad=True, batched=True
+            )
+            wanted.add((True, True))
         return SerializedEngine(
             program=self.program,
             compiled=compiled,
@@ -242,6 +284,12 @@ class Instantiater:
             success_threshold=self.success_threshold,
             lm_options=self.lm_options,
             strategy=self.strategy,
+            backend=self.backend,
+            fused_kernels=tuple(
+                item
+                for item in cached_fused_kernels(self.program).items()
+                if item[0] in wanted
+            ),
         )
 
     @classmethod
@@ -262,6 +310,10 @@ class Instantiater:
             cache = ExpressionCache()
         for compiled in payload.compiled:
             cache.put(compiled)
+        # Seed the program's kernel cache with the shipped megakernel
+        # sources: fused VMs built below bind them with compile()
+        # instead of re-fusing.
+        attach_fused_kernels(payload.program, dict(payload.fused_kernels))
         return cls(
             precision=payload.precision,
             cache=cache,
@@ -269,6 +321,7 @@ class Instantiater:
             lm_options=payload.lm_options,
             strategy=payload.strategy,
             program=payload.program,
+            backend=payload.backend,
         )
 
     def instantiate(
@@ -352,6 +405,7 @@ def instantiate(
     success_threshold: float = SUCCESS_THRESHOLD,
     lm_options: LMOptions | None = None,
     strategy: str = "sequential",
+    backend: str = "auto",
 ) -> InstantiationResult:
     """One-shot convenience wrapper around :class:`Instantiater`."""
     engine = Instantiater(
@@ -360,5 +414,6 @@ def instantiate(
         success_threshold=success_threshold,
         lm_options=lm_options,
         strategy=strategy,
+        backend=backend,
     )
     return engine.instantiate(target, starts=starts, rng=rng)

@@ -46,11 +46,13 @@ class EnginePool:
         cache: ExpressionCache | None = None,
         success_threshold: float = SUCCESS_THRESHOLD,
         lm_options: LMOptions | None = None,
+        backend: str = "auto",
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
         self.strategy = strategy
+        self.backend = backend
         self.precision = precision
         self.cache = cache
         self.success_threshold = success_threshold
@@ -105,6 +107,7 @@ class EnginePool:
                 success_threshold=self.success_threshold,
                 lm_options=self.lm_options,
                 strategy=self.strategy,
+                backend=self.backend,
             )
         self._engines[key] = engine
         while len(self._engines) > self.capacity:

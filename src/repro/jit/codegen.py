@@ -41,9 +41,12 @@ from ..symbolic.expr import Expr
 
 __all__ = [
     "generate_source",
+    "generate_inline_write",
     "compile_writer",
     "compile_source",
+    "writer_globals",
     "CodegenResult",
+    "InlineWrite",
 ]
 
 _GLOBALS = {
@@ -65,6 +68,19 @@ _BATCHED_GLOBALS = {
     "sqrt": np.sqrt,
     "pi": math.pi,
 }
+
+
+def writer_globals(batched: bool) -> dict:
+    """The execution namespace generated writer code expects.
+
+    Scalar writers bind the QGL math names to ``math`` functions;
+    batched writers bind the same names to numpy ufuncs so the
+    identical straight-line code vectorizes over the batch axis.  The
+    fused program backend executes its megakernel source in this same
+    namespace, which is what keeps inlined expression bodies
+    bit-identical to the per-gate writers.
+    """
+    return dict(_BATCHED_GLOBALS if batched else _GLOBALS)
 
 
 class CodegenResult:
@@ -97,14 +113,32 @@ class CodegenResult:
 
 
 class _Emitter:
-    """Shared-subexpression-aware statement emitter."""
+    """Shared-subexpression-aware statement emitter.
 
-    def __init__(self, param_index: dict[str, int]):
+    ``var_atoms`` (optional) overrides the default ``p{k}`` naming of
+    parameter leaves with caller-supplied atoms — the fused program
+    backend maps a gate expression's local parameters onto the global
+    circuit-parameter unpack names this way.  ``temp_prefix`` and
+    ``indent`` let the same emitter produce uniquely-named statements
+    inside a larger generated function.
+    """
+
+    def __init__(
+        self,
+        param_index: dict[str, int],
+        var_atoms: dict[str, str] | None = None,
+        temp_prefix: str = "t",
+        indent: str = "    ",
+    ):
         self.param_index = param_index
+        self.var_atoms = var_atoms
+        self.temp_prefix = temp_prefix
+        self.indent = indent
         self.lines: list[str] = []
         self.names: dict[int, str] = {}
         self.counter = 0
         self.used_params: set[int] = set()
+        self.used_atoms: set[str] = set()
 
     def atom(self, node: Expr) -> str:
         """Inline representation for leaves; temp name for composites."""
@@ -113,6 +147,10 @@ class _Emitter:
         if node.op == "pi":
             return "pi"
         if node.op == "var":
+            if self.var_atoms is not None:
+                atom = self.var_atoms[node.name]
+                self.used_atoms.add(atom)
+                return atom
             k = self.param_index[node.name]
             self.used_params.add(k)
             return f"p{k}"
@@ -139,10 +177,10 @@ class _Emitter:
                 rhs = f"{args[0]} ** {args[1]}"
             else:  # sin, cos, exp, ln, sqrt
                 rhs = f"{op}({args[0]})"
-            name = f"t{self.counter}"
+            name = f"{self.temp_prefix}{self.counter}"
             self.counter += 1
             self.names[id(node)] = name
-            self.lines.append(f"    {name} = {rhs}")
+            self.lines.append(f"{self.indent}{name} = {rhs}")
         return self.atom(root)
 
 
@@ -245,6 +283,108 @@ def generate_source(
     lines.extend(grad_stores if grad_stores else ["    pass"])
     source = "\n".join(lines) + "\n"
     return source, len(dynamic), len(constant), total_cost
+
+
+class InlineWrite:
+    """The inlined form of one WRITE instruction's expression body."""
+
+    __slots__ = (
+        "hot_lines",
+        "const_value_lines",
+        "const_grad_lines",
+        "used_atoms",
+        "num_dynamic",
+    )
+
+    def __init__(
+        self,
+        hot_lines: list[str],
+        const_value_lines: list[str],
+        const_grad_lines: list[str],
+        used_atoms: set[str],
+        num_dynamic: int,
+    ):
+        self.hot_lines = hot_lines
+        self.const_value_lines = const_value_lines
+        self.const_grad_lines = const_grad_lines
+        self.used_atoms = used_atoms
+        self.num_dynamic = num_dynamic
+
+
+def generate_inline_write(
+    unitary_entries: list[tuple[tuple[int, int], Expr, Expr]],
+    grad_entries: list[tuple[tuple[int, int, int], Expr, Expr]],
+    param_names: tuple[str, ...],
+    var_atoms: dict[str, str],
+    out_name: str,
+    grad_name: str | None,
+    temp_prefix: str,
+    indent: str,
+    batched: bool,
+) -> InlineWrite:
+    """Emit one gate expression's writer body for inlining.
+
+    This is the fused program backend's hook into the expression JIT:
+    the same simplified entry triples that produced a gate's standalone
+    writer are re-emitted as bare statements with instruction-local
+    temp names (``temp_prefix``), caller-chosen store targets
+    (``out_name``/``grad_name``), and the gate's parameters mapped onto
+    the megakernel's global parameter atoms (``var_atoms``).  The CSE
+    walk, store expressions, and constant/dynamic split are identical
+    to :func:`generate_source`, so the inlined statements compute
+    bit-identical values to calling the standalone writer.
+
+    ``hot_lines`` are indented with ``indent``; the constant store
+    lines are returned unindented (they run once, in the megakernel's
+    setup prologue).  When ``grad_name`` is None the gradient entries
+    must be empty (the instruction was compiled without
+    differentiation).
+    """
+    if grad_name is None and grad_entries:
+        raise ValueError("gradient entries present but no gradient target")
+    param_index = {name: k for k, name in enumerate(param_names)}
+
+    dynamic: list[tuple[str, Expr, Expr]] = []
+    const_value_lines: list[str] = []
+    const_grad_lines: list[str] = []
+    for (i, j), re_e, im_e in unitary_entries:
+        target = f"{out_name}[{i}, {j}]"
+        if _is_const(re_e, im_e):
+            value = complex(_const_value(re_e), _const_value(im_e))
+            const_value_lines.append(f"{target} = {value!r}")
+        else:
+            dynamic.append((target, re_e, im_e))
+    for (k, i, j), re_e, im_e in grad_entries:
+        target = f"{grad_name}[{k}, {i}, {j}]"
+        if _is_const(re_e, im_e):
+            value = complex(_const_value(re_e), _const_value(im_e))
+            const_grad_lines.append(f"{target} = {value!r}")
+        else:
+            dynamic.append((target, re_e, im_e))
+
+    emitter = _Emitter(
+        param_index,
+        var_atoms=var_atoms,
+        temp_prefix=temp_prefix,
+        indent=indent,
+    )
+    stores: list[str] = []
+    for target, re_e, im_e in dynamic:
+        re_atom = emitter.emit(re_e)
+        im_atom = emitter.emit(im_e)
+        if im_e.is_zero:
+            stores.append(f"{indent}{target} = {re_atom}")
+        elif batched:
+            stores.append(f"{indent}{target} = {re_atom} + 1j * {im_atom}")
+        else:
+            stores.append(f"{indent}{target} = complex({re_atom}, {im_atom})")
+    return InlineWrite(
+        hot_lines=emitter.lines + stores,
+        const_value_lines=const_value_lines,
+        const_grad_lines=const_grad_lines,
+        used_atoms=emitter.used_atoms,
+        num_dynamic=len(dynamic),
+    )
 
 
 def compile_writer(

@@ -190,6 +190,18 @@ class CompiledExpression:
             self._batched_result = result
         return result.write
 
+    @property
+    def entries(self):
+        """The simplified ``(unitary_entries, grad_entries)`` triples.
+
+        These are the exact post-simplification expression trees the
+        writers were generated from; the fused program backend re-emits
+        them inline (via :func:`~repro.jit.codegen.generate_inline_write`)
+        so a megakernel computes bit-identical values to the standalone
+        writers.
+        """
+        return self._entries[0], self._entries[1]
+
     # ------------------------------------------------------------------
     # Convenience (allocating) entry points
     # ------------------------------------------------------------------
@@ -200,9 +212,9 @@ class CompiledExpression:
             # The hot writer was specialized for gradient output; feed
             # it a throwaway stack on this (cold) convenience path.
             grad = np.zeros((self.num_params,) + self.shape, dtype=dtype)
-            self._result.write(tuple(params), out, grad)
+            self._result.write(params, out, grad)
         else:
-            self._result.write(tuple(params), out)
+            self._result.write(params, out)
         self._result.write_constants(out)
         return out
 
@@ -213,7 +225,7 @@ class CompiledExpression:
         out = np.zeros(self.shape, dtype=dtype)
         grad = np.zeros((self.num_params,) + self.shape, dtype=dtype)
         self._result.write_constants(out, grad)
-        self._result.write(tuple(params), out, grad)
+        self._result.write(params, out, grad)
         return out, grad
 
     def _check(self, params) -> None:

@@ -48,6 +48,7 @@ __all__ = [
     "ProcessCandidateExecutor",
     "make_executor",
     "candidate_seed",
+    "NEEDS_PAYLOAD",
 ]
 
 
@@ -167,6 +168,10 @@ _WORKER_CAPACITY = 32
 #: once per rehydrated engine.
 _WORKER_CACHE: ExpressionCache | None = None
 
+#: Sentinel a worker returns for a key-only task whose engine is not
+#: in its LRU: the parent resubmits that task with the payload.
+NEEDS_PAYLOAD = "__needs_payload__"
+
 
 def _worker_expression_cache() -> ExpressionCache:
     global _WORKER_CACHE
@@ -177,15 +182,23 @@ def _worker_expression_cache() -> ExpressionCache:
 
 def _worker_fit(
     key: tuple,
-    payload: bytes,
+    payload: bytes | None,
     target: np.ndarray,
     starts: int,
     seed: int,
     x0: np.ndarray | None,
-) -> tuple[np.ndarray, float, float]:
-    """Task body: rehydrate (or reuse) the shape's engine and fit."""
+):
+    """Task body: rehydrate (or reuse) the shape's engine and fit.
+
+    ``payload`` is None for a key-only task (the payload-dedup
+    steady state); if the worker's LRU misses — a fresh worker, or the
+    shape was evicted — it signals :data:`NEEDS_PAYLOAD` instead of
+    fitting, and the parent resubmits with the snapshot bytes.
+    """
     engine = _WORKER_ENGINES.get(key)
     if engine is None:
+        if payload is None:
+            return NEEDS_PAYLOAD
         engine = Instantiater.from_serialized(
             pickle.loads(payload), cache=_worker_expression_cache()
         )
@@ -205,10 +218,19 @@ class ProcessCandidateExecutor(CandidateExecutor):
     The parent resolves every job through ``pool.engine_for`` exactly
     like the serial executor (so AOT compiles happen once, here, and
     the pool's hit/miss counters agree between serial and parallel
-    runs), then submits ``(structure key, pickled engine snapshot,
-    target, starts, seed, x0)`` tasks.  The process pool is created
-    lazily on first use and persists across batches, so worker-side
-    engine caches amortize across a whole synthesis pass.
+    runs), then submits ``(structure key, engine snapshot, target,
+    starts, seed, x0)`` tasks.  The process pool is created lazily on
+    first use and persists across batches, so worker-side engine
+    caches amortize across a whole synthesis pass.
+
+    Payload dedup: the pickled engine snapshot (10-40KB per shape)
+    ships only with the *first* batch that fits a shape; later tasks
+    for the shape are key-only — target + seed + a structure key — and
+    a worker whose LRU misses (a fresh process, or an evicted shape)
+    signals :data:`NEEDS_PAYLOAD`, which makes the parent resubmit
+    that one task with the snapshot.  Steady-state traffic therefore
+    carries no engine bytes at all; the ``payloads_shipped`` /
+    ``payloads_skipped`` counters expose the split.
     """
 
     def __init__(
@@ -221,6 +243,11 @@ class ProcessCandidateExecutor(CandidateExecutor):
             raise ValueError("ProcessCandidateExecutor needs workers >= 2")
         self.pool = pool
         self.workers = workers
+        #: shapes at least one completed batch has shipped to the pool
+        self._shipped: set[tuple] = set()
+        self.payloads_shipped = 0
+        self.payloads_skipped = 0
+        self.payload_resends = 0
         if mp_context is None:
             # forkserver gives cheap per-worker forks from a clean
             # server process (no inherited BLAS/OpenMP thread state, no
@@ -244,6 +271,7 @@ class ProcessCandidateExecutor(CandidateExecutor):
             pool.precision,
             pool.success_threshold,
             pool.lm_options,
+            pool.backend,
         )
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
@@ -260,34 +288,73 @@ class ProcessCandidateExecutor(CandidateExecutor):
 
     def run(self, jobs: list[FitJob]) -> list[FitOutcome]:
         outcomes: list[FitOutcome | None] = [None] * len(jobs)
-        submitted: list[tuple[int, object]] = []
+        # (index, key, payload bytes, job, future); the parent always
+        # resolves the payload — one engine_for per job, the same
+        # hit/miss pattern as the serial executor, and the bytes are
+        # on hand for a needs-payload retry — but attaches it to the
+        # task only for shapes no completed batch has shipped yet.
+        submitted: list[tuple[int, tuple, bytes, FitJob, object]] = []
         executor = None
+        batch_new: set[tuple] = set()
         for i, job in enumerate(jobs):
             if job.circuit.num_params == 0:
                 outcomes[i] = _constant_outcome(job)
                 continue
             payload = self.pool.serialized_bytes(job.circuit)
+            key = (self._settings_key, job.circuit.structure_key())
+            ship = key not in self._shipped
+            if ship:
+                # Every task of a newly seen shape in this batch
+                # carries the payload: the batch may fan out across
+                # all workers, none of which has the engine yet.
+                batch_new.add(key)
+                self.payloads_shipped += 1
+            else:
+                self.payloads_skipped += 1
             if executor is None:
                 executor = self._ensure_executor()
             future = executor.submit(
                 _worker_fit,
-                (self._settings_key, job.circuit.structure_key()),
-                payload,
+                key,
+                payload if ship else None,
                 job.target,
                 job.starts,
                 job.seed,
                 job.x0,
             )
-            submitted.append((i, future))
+            submitted.append((i, key, payload, job, future))
         try:
-            for i, future in submitted:
-                params, infidelity, busy = future.result()
-                outcomes[i] = FitOutcome(
-                    params=params,
-                    infidelity=infidelity,
-                    busy_seconds=busy,
-                    engine_call=True,
-                )
+            retries: list[tuple[int, object]] = []
+            for i, key, payload, job, future in submitted:
+                result = future.result()
+                if result == NEEDS_PAYLOAD:
+                    # The worker's LRU evicted the shape (or the task
+                    # landed on a worker the first batch never
+                    # reached): resend this one task with the bytes.
+                    self.payloads_shipped += 1
+                    self.payload_resends += 1
+                    retries.append((
+                        i,
+                        executor.submit(
+                            _worker_fit,
+                            key,
+                            payload,
+                            job.target,
+                            job.starts,
+                            job.seed,
+                            job.x0,
+                        ),
+                    ))
+                    continue
+                outcomes[i] = self._outcome(result)
+            for i, future in retries:
+                result = future.result()
+                if result == NEEDS_PAYLOAD:
+                    raise RuntimeError(
+                        "worker demanded a payload that was attached"
+                    )
+                outcomes[i] = self._outcome(result)
+            self._shipped |= batch_new
         except BaseException:
             # A dead worker leaves a ProcessPoolExecutor permanently
             # broken; drop it so the next run() rebuilds a fresh pool
@@ -295,6 +362,16 @@ class ProcessCandidateExecutor(CandidateExecutor):
             self.close()
             raise
         return outcomes  # type: ignore[return-value]
+
+    @staticmethod
+    def _outcome(result) -> FitOutcome:
+        params, infidelity, busy = result
+        return FitOutcome(
+            params=params,
+            infidelity=infidelity,
+            busy_seconds=busy,
+            engine_call=True,
+        )
 
     def close(self) -> None:
         if self._executor is not None:
@@ -304,6 +381,9 @@ class ProcessCandidateExecutor(CandidateExecutor):
             # "Bad file descriptor" tracebacks at interpreter exit.
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        # The next pool starts with cold workers: everything must
+        # ship again.
+        self._shipped.clear()
 
 
 def make_executor(

@@ -92,6 +92,7 @@ class Resynthesizer:
         scan_batch: int | None = 1,
         workers: int = 1,
         executor: CandidateExecutor | None = None,
+        backend: str | None = None,
     ):
         if scan_order not in SCAN_ORDERS:
             raise ValueError(
@@ -108,7 +109,7 @@ class Resynthesizer:
         self.scan_order = scan_order
         self.scan_batch = scan_batch
         self.pool = _resolve_pool(
-            pool, success_threshold, strategy, precision, lm_options
+            pool, success_threshold, strategy, precision, lm_options, backend
         )
         if executor is not None and executor.pool is not self.pool:
             raise ValueError(

@@ -13,7 +13,7 @@ instruction for forward-mode automatic differentiation.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..symbolic.matrix import ExpressionMatrix
 
@@ -118,6 +118,17 @@ class Program:
     # ------------------------------------------------------------------
     # Serialization (engine-pool sharing across processes)
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle the declared fields only.
+
+        The fused program backend caches generated megakernels on the
+        instance (``_fused_kernels``); those ship explicitly with
+        :class:`~repro.instantiation.SerializedEngine`, so program
+        bytes stay lean and cache state never leaks through
+        :meth:`to_bytes`.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
     def to_bytes(self) -> bytes:
         """A compact, process-portable serialized form.
 

@@ -1,6 +1,14 @@
 """The Tensor Network Virtual Machine runtime."""
 
 from .buffers import BatchedMemoryPlan, MemoryPlan
+from .fused import (
+    BACKENDS,
+    FUSED_DIM_MAX,
+    FusedKernel,
+    bind_fused_kernel,
+    generate_fused_kernel,
+    resolve_backend,
+)
 from .vm import TNVM, BatchedTNVM, Differentiation
 
 __all__ = [
@@ -9,4 +17,10 @@ __all__ = [
     "Differentiation",
     "MemoryPlan",
     "BatchedMemoryPlan",
+    "BACKENDS",
+    "FUSED_DIM_MAX",
+    "FusedKernel",
+    "resolve_backend",
+    "generate_fused_kernel",
+    "bind_fused_kernel",
 ]

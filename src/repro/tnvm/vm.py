@@ -25,6 +25,7 @@ from ..jit.cache import ExpressionCache, global_cache
 from ..tensornet.bytecode import Program
 from .ad import build_batched_closure, build_batched_write_group, build_closure
 from .buffers import BatchedMemoryPlan, MemoryPlan
+from .fused import bind_fused_kernel, fused_kernel_for, resolve_backend
 
 __all__ = ["Differentiation", "TNVM", "BatchedTNVM"]
 
@@ -60,6 +61,11 @@ class TNVM:
     cache:
         Expression cache to pull JIT'd expressions from; defaults to
         the process-wide shared cache.
+    backend:
+        ``"closures"`` (the per-instruction interpreter loop),
+        ``"fused"`` (one megakernel for the whole dynamic section; see
+        :mod:`repro.tnvm.fused`), or ``"auto"`` (fused at or below
+        ``FUSED_DIM_MAX``).  Both backends are bit-identical.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class TNVM:
         precision: str = "f64",
         diff: Differentiation = Differentiation.GRADIENT,
         cache: ExpressionCache | None = None,
+        backend: str = "closures",
     ):
         if diff is Differentiation.HESSIAN:
             raise NotImplementedError(
@@ -104,19 +111,32 @@ class TNVM:
                 instr, program, self.plan, self.compiled, grad=False
             )
             closure(())
-        self._dynamic = [
-            build_closure(
-                instr, program, self.plan, self.compiled, grad=want_grad
+        self.backend = resolve_backend(backend, program.output_shape[0])
+        if self.backend == "fused":
+            # The whole dynamic section as ONE generated function (see
+            # repro.tnvm.fused); the sweep below degenerates to a
+            # single call.
+            self.fused_kernel = fused_kernel_for(
+                program, self.compiled, want_grad, batched=False
             )
-            for instr in program.dynamic_section
-        ]
+            self._dynamic = [bind_fused_kernel(self.fused_kernel, self.plan)]
+        else:
+            self.fused_kernel = None
+            self._dynamic = [
+                build_closure(
+                    instr, program, self.plan, self.compiled, grad=want_grad
+                )
+                for instr in program.dynamic_section
+            ]
 
         dim = program.output_shape[0]
         self._out_view = self.plan.value_view(
             program.output_buffer, (dim, dim)
         )
         out_spec = program.buffers[program.output_buffer]
-        self._out_param_rows = out_spec.params
+        #: fancy-index form: one vectorized scatter per sweep instead
+        #: of a Python copy loop over gradient rows
+        self._out_rows_idx = np.asarray(out_spec.params, dtype=np.intp)
         self._out_grad_view = (
             self.plan.grad_view(program.output_buffer, (dim, dim))
             if want_grad and out_spec.params
@@ -159,8 +179,7 @@ class TNVM:
         for run in self._dynamic:
             run(params)
         if self._out_grad_view is not None:
-            for row, p in enumerate(self._out_param_rows):
-                self._full_grad[p] = self._out_grad_view[row]
+            self._full_grad[self._out_rows_idx] = self._out_grad_view
         return self._out_view, self._full_grad
 
     def _check(self, params: Sequence[float]) -> None:
@@ -185,6 +204,7 @@ class TNVM:
     def __repr__(self) -> str:
         return (
             f"<TNVM {self.precision} diff={self.diff.name} "
+            f"backend={self.backend} "
             f"params={self.num_params} dim={self.dim} "
             f"mem={self.memory_bytes}B>"
         )
@@ -212,6 +232,7 @@ class BatchedTNVM:
         precision: str = "f64",
         diff: Differentiation = Differentiation.GRADIENT,
         cache: ExpressionCache | None = None,
+        backend: str = "closures",
     ):
         if diff is Differentiation.HESSIAN:
             raise NotImplementedError(
@@ -245,6 +266,39 @@ class BatchedTNVM:
             )
             closure(())
 
+        self.backend = resolve_backend(
+            backend, program.output_shape[0], batched=True
+        )
+        if self.backend == "fused":
+            # One megakernel for the whole batched dynamic section
+            # (bit-identical to the closure sweep; "auto" does not pick
+            # this — the grouped writers below win on batched dispatch).
+            self.fused_kernel = fused_kernel_for(
+                program, self.compiled, want_grad, batched=True
+            )
+            self._dynamic = [bind_fused_kernel(self.fused_kernel, self.plan)]
+        else:
+            self.fused_kernel = None
+            self._build_closure_dynamic(program, want_grad)
+
+        dim = program.output_shape[0]
+        self._out_view = self.plan.value_view(
+            program.output_buffer, (dim, dim)
+        )
+        out_spec = program.buffers[program.output_buffer]
+        self._out_rows_idx = np.asarray(out_spec.params, dtype=np.intp)
+        self._out_grad_view = (
+            self.plan.grad_view(program.output_buffer, (dim, dim))
+            if want_grad and out_spec.params
+            else None
+        )
+        self._full_grad = (
+            np.zeros((self.batch, self.num_params, dim, dim), dtype=dtype)
+            if want_grad
+            else None
+        )
+
+    def _build_closure_dynamic(self, program: Program, want_grad: bool):
         # WRITE instructions sharing one JIT'd expression are grouped
         # into a single batched writer call (effective batch G*S) and
         # hoisted to the front — safe, since WRITEs read no buffers and
@@ -277,23 +331,6 @@ class BatchedTNVM:
             for pos, instr in enumerate(program.dynamic_section)
             if pos not in grouped_pos
         ]
-
-        dim = program.output_shape[0]
-        self._out_view = self.plan.value_view(
-            program.output_buffer, (dim, dim)
-        )
-        out_spec = program.buffers[program.output_buffer]
-        self._out_param_rows = out_spec.params
-        self._out_grad_view = (
-            self.plan.grad_view(program.output_buffer, (dim, dim))
-            if want_grad and out_spec.params
-            else None
-        )
-        self._full_grad = (
-            np.zeros((self.batch, self.num_params, dim, dim), dtype=dtype)
-            if want_grad
-            else None
-        )
 
     # ------------------------------------------------------------------
     # Hot path
@@ -328,8 +365,7 @@ class BatchedTNVM:
         for run in self._dynamic:
             run(rows)
         if self._out_grad_view is not None:
-            for row, p in enumerate(self._out_param_rows):
-                self._full_grad[:, p] = self._out_grad_view[:, row]
+            self._full_grad[:, self._out_rows_idx] = self._out_grad_view
         return self._out_view, self._full_grad
 
     def _check(self, params: np.ndarray) -> np.ndarray:
@@ -358,6 +394,7 @@ class BatchedTNVM:
     def __repr__(self) -> str:
         return (
             f"<BatchedTNVM batch={self.batch} {self.precision} "
-            f"diff={self.diff.name} params={self.num_params} "
-            f"dim={self.dim} mem={self.memory_bytes}B>"
+            f"diff={self.diff.name} backend={self.backend} "
+            f"params={self.num_params} dim={self.dim} "
+            f"mem={self.memory_bytes}B>"
         )

@@ -115,6 +115,63 @@ class TestExecutors:
         SynthesisSearch(pool=pool, executor=serial, workers=1)
 
 
+class TestPayloadDedup:
+    def test_worker_signals_missing_engine(self):
+        # Unit-level protocol check: a key-only task whose engine is
+        # absent from the worker LRU yields the needs-payload signal
+        # instead of fitting; with the payload attached it fits.
+        from repro.synthesis.executor import (
+            _WORKER_ENGINES,
+            NEEDS_PAYLOAD,
+            _worker_fit,
+        )
+
+        circuit = build_qsearch_ansatz(2, 1, 2)
+        target = reachable_target(circuit, 5)
+        pool = EnginePool()
+        payload = pool.serialized_bytes(circuit)
+        key = ("test-dedup", circuit.structure_key())
+        _WORKER_ENGINES.pop(key, None)
+        assert _worker_fit(key, None, target, 2, 1, None) == NEEDS_PAYLOAD
+        params, infidelity, busy = _worker_fit(key, payload, target, 2, 1, None)
+        assert params.shape == (circuit.num_params,)
+        # Now the LRU holds the engine: key-only tasks fit directly.
+        again = _worker_fit(key, None, target, 2, 1, None)
+        assert np.array_equal(again[0], params)
+        _WORKER_ENGINES.pop(key, None)
+
+    def test_steady_state_tasks_are_key_only(self):
+        circuit = build_qsearch_ansatz(2, 1, 2)
+        target = reachable_target(circuit, 23)
+        jobs = [
+            FitJob(circuit, target, 4, candidate_seed(9, ("dedup", k)))
+            for k in range(3)
+        ]
+        serial_out = SerialCandidateExecutor(EnginePool()).run(jobs)
+        with ProcessCandidateExecutor(EnginePool(), workers=2) as proc:
+            first = proc.run(jobs)
+            # Every first-batch task of the new shape carried bytes.
+            assert proc.payloads_shipped >= len(jobs)
+            assert proc.payloads_skipped == 0
+            second = proc.run(jobs)
+            # Steady state: the shape is marked shipped, so tasks go
+            # key-only (resends only where a worker the first batch
+            # never reached picks one up).
+            assert proc.payloads_skipped == len(jobs)
+            assert proc.payload_resends <= len(jobs)
+        for outcome in (first, second):
+            for a, b in zip(serial_out, outcome):
+                assert np.array_equal(a.params, b.params)
+                assert a.infidelity == b.infidelity
+
+    def test_close_resets_shipped_shapes(self):
+        pool = EnginePool()
+        proc = ProcessCandidateExecutor(pool, workers=2)
+        proc._shipped.add(("k",))
+        proc.close()
+        assert proc._shipped == set()
+
+
 class TestSearchEquivalence:
     def test_workers_do_not_change_results(self):
         # A 3-qubit reachable target: expansions branch 3 ways, so

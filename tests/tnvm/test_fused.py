@@ -1,0 +1,349 @@
+"""Fused program backend tests.
+
+The contract under test: the fused megakernel backend is **bit
+identical** to the closure interpreter — same unitary, same gradient,
+to the last ulp — across every opcode, both precisions, with and
+without differentiation, on scalar and batched VMs; and a fused kernel
+survives pickling as source text that rehydrates with ``compile()``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuditCircuit, build_qft_circuit, build_qsearch_ansatz, gates
+from repro.tensornet.bytecode import BufferSpec, Instruction, Program
+from repro.tensornet.network import ParamSlot
+from repro.tnvm import (
+    TNVM,
+    BatchedTNVM,
+    Differentiation,
+    FUSED_DIM_MAX,
+    bind_fused_kernel,
+    resolve_backend,
+)
+from repro.tnvm.fused import fused_kernel_for
+
+
+# ----------------------------------------------------------------------
+# Program zoo: every opcode and every AD specialization path.
+# ----------------------------------------------------------------------
+
+
+def _qsearch_2q():
+    # WRITE + MATMUL + TRANSPOSE with disjoint operand parameters.
+    return build_qsearch_ansatz(2, 2, 2).compile()
+
+
+def _qsearch_3q():
+    return build_qsearch_ansatz(3, 1, 2).compile()
+
+
+def _single_gate():
+    # Root-leaf fusion: the whole program is one WRITE.
+    circ = QuditCircuit.pure([2])
+    circ.append_ref(circ.cache_operation(gates.u3()), 0)
+    return circ.compile()
+
+
+def _kron_product_rule():
+    # RX(t) on wire 0 and RX(t) on wire 1: KRON with the product rule
+    # (same parameter on both operands).
+    circ = QuditCircuit.pure([2, 2])
+    rx = circ.cache_operation(gates.rx())
+    (theta,) = circ.append_ref(rx, 0)
+    circ.append_ref_bound(rx, 1, [ParamSlot.param(theta)])
+    return circ.compile()
+
+
+def _matmul_overlap():
+    # RZ(t) @ RX(t) on one wire: MATMUL with overlapping parameters.
+    circ = QuditCircuit.pure([2])
+    rx = circ.cache_operation(gates.rx())
+    rz = circ.cache_operation(gates.rz())
+    (t,) = circ.append_ref(rx, 0)
+    circ.append_ref_bound(rz, 0, [ParamSlot.param(t)])
+    return circ.compile()
+
+
+def _scatter_write():
+    # U3(t, t, 0.4): duplicated slots within one WRITE force the
+    # scatter/accumulate gradient path.
+    circ = QuditCircuit.pure([2])
+    rx = circ.cache_operation(gates.rx())
+    u3 = circ.cache_operation(gates.u3())
+    (t,) = circ.append_ref(rx, 0)
+    circ.append_ref_bound(
+        u3, 0, [ParamSlot.param(t), ParamSlot.param(t), ParamSlot.const(0.4)]
+    )
+    return circ.compile()
+
+
+def _hadamard_disjoint():
+    # The compiler never emits HADAMARD today; build the bytecode by
+    # hand so the opcode's fused emission is still covered.
+    rx = gates.rx().matrix
+    program = Program(
+        num_params=2,
+        radices=(2,),
+        expressions=[rx],
+        buffers=[
+            BufferSpec(0, 4, (0,), False),
+            BufferSpec(1, 4, (1,), False),
+            BufferSpec(2, 4, (0, 1), False),
+        ],
+        dynamic_section=[
+            Instruction("WRITE", out_buf=0, expr_id=0, slots=(0,), params=(0,)),
+            Instruction("WRITE", out_buf=1, expr_id=0, slots=(1,), params=(1,)),
+            Instruction(
+                "HADAMARD",
+                out_buf=2,
+                a_buf=0,
+                b_buf=1,
+                a_shape=(2, 2),
+                b_shape=(2, 2),
+                params=(0, 1),
+            ),
+        ],
+        output_buffer=2,
+        output_shape=(2, 2),
+    )
+    program.validate()
+    return program
+
+
+def _hadamard_overlap():
+    # Both HADAMARD operands depend on the same parameter: product rule.
+    rx = gates.rx().matrix
+    program = Program(
+        num_params=1,
+        radices=(2,),
+        expressions=[rx],
+        buffers=[
+            BufferSpec(0, 4, (0,), False),
+            BufferSpec(1, 4, (0,), False),
+            BufferSpec(2, 4, (0,), False),
+        ],
+        dynamic_section=[
+            Instruction("WRITE", out_buf=0, expr_id=0, slots=(0,), params=(0,)),
+            Instruction("WRITE", out_buf=1, expr_id=0, slots=(0,), params=(0,)),
+            Instruction(
+                "HADAMARD",
+                out_buf=2,
+                a_buf=0,
+                b_buf=1,
+                a_shape=(2, 2),
+                b_shape=(2, 2),
+                params=(0,),
+            ),
+        ],
+        output_buffer=2,
+        output_shape=(2, 2),
+    )
+    program.validate()
+    return program
+
+
+def _constant_circuit():
+    # Fully constant: empty dynamic section, megakernel is a no-op.
+    return build_qft_circuit(2).compile()
+
+
+PROGRAMS = {
+    "single-gate": _single_gate,
+    "qsearch-2q": _qsearch_2q,
+    "qsearch-3q": _qsearch_3q,
+    "kron-product-rule": _kron_product_rule,
+    "matmul-overlap": _matmul_overlap,
+    "scatter-write": _scatter_write,
+    "hadamard-disjoint": _hadamard_disjoint,
+    "hadamard-overlap": _hadamard_overlap,
+    "constant": _constant_circuit,
+}
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: build() for name, build in PROGRAMS.items()}
+
+
+def _params_for(program, seed=0):
+    return np.random.default_rng(seed).uniform(
+        -2 * np.pi, 2 * np.pi, program.num_params
+    )
+
+
+class TestOpcodeCoverage:
+    def test_zoo_spans_all_five_opcodes(self, programs):
+        seen = {
+            instr.opcode
+            for program in programs.values()
+            for instr in program.dynamic_section
+        }
+        assert seen == {"WRITE", "MATMUL", "KRON", "HADAMARD", "TRANSPOSE"}
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("name", list(PROGRAMS))
+    @pytest.mark.parametrize("precision", ["f32", "f64"])
+    def test_grad_bit_identical(self, programs, name, precision):
+        program = programs[name]
+        closures = TNVM(program, precision=precision, backend="closures")
+        fused = TNVM(program, precision=precision, backend="fused")
+        assert fused.backend == "fused" and fused.fused_kernel is not None
+        for seed in range(3):
+            p = _params_for(program, seed)
+            u1, g1 = closures.evaluate_with_grad(p)
+            u2, g2 = fused.evaluate_with_grad(p)
+            assert np.array_equal(u1, u2)
+            assert np.array_equal(g1, g2)
+
+    @pytest.mark.parametrize("name", list(PROGRAMS))
+    @pytest.mark.parametrize("precision", ["f32", "f64"])
+    def test_no_grad_bit_identical(self, programs, name, precision):
+        program = programs[name]
+        closures = TNVM(
+            program,
+            precision=precision,
+            diff=Differentiation.NONE,
+            backend="closures",
+        )
+        fused = TNVM(
+            program,
+            precision=precision,
+            diff=Differentiation.NONE,
+            backend="fused",
+        )
+        p = _params_for(program, 7)
+        assert np.array_equal(closures.evaluate(p), fused.evaluate(p))
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("name", list(PROGRAMS))
+    @pytest.mark.parametrize("precision", ["f32", "f64"])
+    def test_grad_bit_identical(self, programs, name, precision):
+        program = programs[name]
+        batch = 5
+        rows = np.random.default_rng(11).uniform(
+            -2 * np.pi, 2 * np.pi, (batch, program.num_params)
+        )
+        closures = BatchedTNVM(
+            program, batch, precision=precision, backend="closures"
+        )
+        fused = BatchedTNVM(
+            program, batch, precision=precision, backend="fused"
+        )
+        u1, g1 = closures.evaluate_with_grad(rows)
+        u2, g2 = fused.evaluate_with_grad(rows)
+        assert np.array_equal(u1, u2)
+        assert np.array_equal(g1, g2)
+
+    @pytest.mark.parametrize("name", list(PROGRAMS))
+    def test_no_grad_bit_identical(self, programs, name):
+        program = programs[name]
+        rows = np.random.default_rng(13).uniform(
+            -2 * np.pi, 2 * np.pi, (3, program.num_params)
+        )
+        closures = BatchedTNVM(
+            program, 3, diff=Differentiation.NONE, backend="closures"
+        )
+        fused = BatchedTNVM(
+            program, 3, diff=Differentiation.NONE, backend="fused"
+        )
+        assert np.array_equal(closures.evaluate(rows), fused.evaluate(rows))
+
+    def test_batched_matches_scalar_rows(self, programs):
+        # Cross-check: each fused batch row equals the fused scalar VM.
+        program = programs["qsearch-2q"]
+        rows = np.random.default_rng(17).uniform(-np.pi, np.pi, (4, 18))
+        scalar = TNVM(program, backend="fused")
+        batched = BatchedTNVM(program, 4, backend="fused")
+        ub, gb = batched.evaluate_with_grad(rows)
+        for s in range(4):
+            us, gs = scalar.evaluate_with_grad(rows[s])
+            assert np.allclose(ub[s], us, atol=1e-12)
+            assert np.allclose(gb[s], gs, atol=1e-12)
+
+
+class TestBackendKnob:
+    def test_resolve(self):
+        assert resolve_backend("auto", FUSED_DIM_MAX) == "fused"
+        assert resolve_backend("auto", FUSED_DIM_MAX + 1) == "closures"
+        assert resolve_backend("closures", 2) == "closures"
+        assert resolve_backend("fused", 1024) == "fused"
+        # Batched "auto" keeps the grouped-writer closure backend (its
+        # G*S-stacked WRITE dispatch already beats per-gate inlining);
+        # an explicit "fused" still forces the megakernel.
+        assert resolve_backend("auto", 2, batched=True) == "closures"
+        assert resolve_backend("fused", 2, batched=True) == "fused"
+        with pytest.raises(ValueError):
+            resolve_backend("jit", 2)
+
+    def test_batched_auto_stays_on_closures(self, programs):
+        vm = BatchedTNVM(programs["qsearch-2q"], 4, backend="auto")
+        assert vm.backend == "closures"
+
+    def test_vm_rejects_unknown_backend(self, programs):
+        with pytest.raises(ValueError):
+            TNVM(programs["single-gate"], backend="nope")
+        with pytest.raises(ValueError):
+            BatchedTNVM(programs["single-gate"], 2, backend="nope")
+
+    def test_auto_picks_fused_for_small_dims(self, programs):
+        vm = TNVM(programs["qsearch-3q"], backend="auto")
+        assert vm.backend == "fused"
+
+    def test_closures_vm_has_no_kernel(self, programs):
+        vm = TNVM(programs["qsearch-2q"], backend="closures")
+        assert vm.fused_kernel is None
+        assert len(vm._dynamic) == len(
+            programs["qsearch-2q"].dynamic_section
+        )
+
+    def test_fused_vm_single_dispatch(self, programs):
+        vm = TNVM(programs["qsearch-2q"], backend="fused")
+        assert len(vm._dynamic) == 1
+        kernel = vm.fused_kernel
+        assert kernel.num_instructions == len(
+            programs["qsearch-2q"].dynamic_section
+        )
+        assert kernel.num_write_stores > 0
+
+
+class TestKernelCachingAndSerialization:
+    def test_kernel_cached_per_program(self, programs):
+        program = PROGRAMS["qsearch-2q"]()
+        vm1 = TNVM(program, backend="fused")
+        vm2 = TNVM(program, backend="fused")
+        assert vm1.fused_kernel is vm2.fused_kernel  # one generation
+        b1 = BatchedTNVM(program, 2, backend="fused")
+        b2 = BatchedTNVM(program, 3, backend="fused")
+        assert b1.fused_kernel is b2.fused_kernel  # batch-size agnostic
+        assert b1.fused_kernel is not vm1.fused_kernel
+
+    def test_kernel_pickle_round_trip_rebinds(self, programs):
+        program = programs["qsearch-2q"]
+        vm = TNVM(program, backend="fused")
+        clone_kernel = pickle.loads(pickle.dumps(vm.fused_kernel))
+        assert clone_kernel.source == vm.fused_kernel.source
+        run = bind_fused_kernel(clone_kernel, vm.plan)
+        p = _params_for(program, 3)
+        reference_u, reference_g = map(
+            np.copy, vm.evaluate_with_grad(p)
+        )
+        run(tuple(p))  # re-executes the dynamic section on vm's arena
+        u, g = vm.evaluate_with_grad(p)
+        assert np.array_equal(u, reference_u)
+        assert np.array_equal(g, reference_g)
+
+    def test_program_bytes_stay_lean(self):
+        # Kernel caches must never leak into Program.to_bytes; they
+        # ship explicitly with SerializedEngine instead.
+        program = PROGRAMS["qsearch-2q"]()
+        bare = len(program.to_bytes())
+        vm = TNVM(program, backend="fused")
+        fused_kernel_for(program, vm.compiled, grad=True, batched=True)
+        assert len(program.to_bytes()) == bare
+        clone = Program.from_bytes(program.to_bytes())
+        assert "_fused_kernels" not in clone.__dict__
