@@ -10,6 +10,8 @@ Usage::
         --random-targets 1 --json BENCH_parallel_synthesis.json
     python benchmarks/run_synthesis.py --backends closures,fused \
         --random-targets 2 --json BENCH_backend_synthesis.json
+    python benchmarks/run_synthesis.py --state-prep \
+        --json BENCH_state_prep.json
 
 Default mode synthesizes the 2-qubit QFT plus ``--random-targets``
 seeded Haar-random 2-qubit unitaries with
@@ -40,8 +42,9 @@ import time
 import numpy as np
 
 from repro.circuit import build_qft_circuit, build_qsearch_ansatz
+from repro.instantiation import Instantiater
 from repro.synthesis import Resynthesizer, SynthesisSearch
-from repro.utils import random_unitary
+from repro.utils import Statevector, random_unitary
 
 
 def default_suite(args) -> None:
@@ -401,6 +404,234 @@ def compare_backends_suite(args, backends: list[str]) -> None:
         print(f"wrote {args.json}")
 
 
+def random_state(dim: int, seed: int) -> np.ndarray:
+    """A Haar-ish random pure state (normalized complex Gaussian)."""
+    rng = np.random.default_rng(seed)
+    amps = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return amps / np.linalg.norm(amps)
+
+
+def state_prep_suite(args) -> None:
+    """State-preparation synthesis: GHZ + random states, 2-3 qubits.
+
+    Three measurements feed ``BENCH_state_prep.json``:
+
+    1. each target synthesized once per TNVM backend
+       (closures vs fused), bit-identity checked;
+    2. GHZ-3 synthesized serially and with 2 workers, bit-identity
+       checked (state-prep rounds ride the same process-pool payload
+       plumbing as unitary rounds);
+    3. a per-candidate cost micro: the *same* compiled engine fits a
+       reachable unitary target and its own first column as a state
+       target — the O(D) state residual stack vs the O(D^2) unitary
+       one, per LM evaluation.
+    """
+    backends = ["closures", "fused"]
+    targets = [
+        ("ghz2", Statevector.ghz(2)),
+        ("ghz3", Statevector.ghz(3)),
+        ("random2q", random_state(4, args.seed_base)),
+        ("random3q", random_state(8, args.seed_base + 1)),
+    ]
+
+    print(f"state-preparation synthesis: {len(targets)} targets, "
+          f"U3+CNOT gate set, {args.starts} starts, backends {backends}\n")
+    print(f"{'target':<10} {'backend':<9} {'solved':>6} {'CX':>3} "
+          f"{'infidelity':>11} {'calls':>6} {'seconds':>8} {'identical':>9}")
+
+    per_backend: dict[str, list] = {}
+    backend_walls: dict[str, float] = {}
+    for backend in backends:
+        search = SynthesisSearch(starts=args.starts, backend=backend)
+        t0 = time.perf_counter()
+        per_backend[backend] = [
+            search.synthesize(target, rng=k)
+            for k, (_, target) in enumerate(targets)
+        ]
+        backend_walls[backend] = time.perf_counter() - t0
+        search.close()
+
+    target_rows = []
+    identical_backends = True
+    reference = per_backend[backends[0]]
+    for k, (name, _) in enumerate(targets):
+        ref = reference[k]
+        identical = all(
+            per_backend[b][k].circuit.structure_key()
+            == ref.circuit.structure_key()
+            and np.array_equal(per_backend[b][k].params, ref.params)
+            and per_backend[b][k].infidelity == ref.infidelity
+            and per_backend[b][k].instantiation_calls
+            == ref.instantiation_calls
+            for b in backends[1:]
+        )
+        identical_backends = identical_backends and identical
+        runs = []
+        for b in backends:
+            r = per_backend[b][k]
+            runs.append({
+                "backend": b,
+                "solved": r.success,
+                "infidelity": r.infidelity,
+                "cx_count": r.count("CX"),
+                "operations": r.circuit.num_operations,
+                "instantiation_calls": r.instantiation_calls,
+                "wall_seconds": r.wall_seconds,
+            })
+            print(f"{name:<10} {b:<9} {str(r.success):>6} "
+                  f"{r.count('CX'):>3} {r.infidelity:>11.2e} "
+                  f"{r.instantiation_calls:>6} {r.wall_seconds:>8.2f} "
+                  f"{str(identical):>9}")
+        target_rows.append({
+            "target": name,
+            "identical_across_backends": identical,
+            "runs": runs,
+        })
+
+    # Serial vs 2-worker GHZ-3: state-prep rounds on the process pool.
+    ghz3 = Statevector.ghz(3)
+    worker_runs = []
+    w_reference = None
+    identical_workers = True
+    for workers in (1, 2):
+        with SynthesisSearch(
+            starts=args.starts, workers=workers, expansion_width=2
+        ) as search:
+            t0 = time.perf_counter()
+            result = search.synthesize(ghz3, rng=7)
+            wall = time.perf_counter() - t0
+        if w_reference is None:
+            w_reference = result
+        else:
+            identical_workers = (
+                w_reference.circuit.structure_key()
+                == result.circuit.structure_key()
+                and np.array_equal(w_reference.params, result.params)
+                and w_reference.infidelity == result.infidelity
+                and w_reference.instantiation_calls
+                == result.instantiation_calls
+            )
+        worker_runs.append({
+            "workers": workers,
+            "solved": result.success,
+            "infidelity": result.infidelity,
+            "instantiation_calls": result.instantiation_calls,
+            "wall_seconds": wall,
+        })
+    print(f"\nghz3 workers 1 vs 2: identical={identical_workers}")
+
+    # Per-candidate evaluation cost: the same batched VM evaluates one
+    # residual+Jacobian call against a unitary target and against its
+    # own first column as a state target.  Both share the VM gradient
+    # sweep; the unitary fit then assembles 2D^2 residual rows and a
+    # (S, 2D^2, P) Jacobian where state prep assembles 2D and
+    # (S, 2D, P) — an O(D) vs O(D^2) gap that widens with dimension.
+    from repro.instantiation import (
+        BatchedHilbertSchmidtResiduals,
+        BatchedStateResiduals,
+    )
+    from repro.tnvm import BatchedTNVM, Differentiation
+
+    def best_of(fn, arg, reps=200, rounds=3):
+        """Median-free best-of-N microtiming (1-core CI jitter)."""
+        fn(arg)  # warm
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn(arg)
+            best = min(best, (time.perf_counter() - t0) / reps)
+        return best
+
+    eval_rows = []
+    for num_qudits in (3, 4):
+        ansatz = build_qsearch_ansatz(num_qudits, 2, 2)
+        dim = 2**num_qudits
+        ref_params = np.random.default_rng(args.seed_base + 7).uniform(
+            -np.pi, np.pi, ansatz.num_params
+        )
+        target_u = ansatz.get_unitary(ref_params)
+        target_s = np.ascontiguousarray(target_u[:, 0])
+        vm = BatchedTNVM(
+            ansatz.compile(), args.starts, diff=Differentiation.GRADIENT
+        )
+        rows = np.tile(ref_params, (args.starts, 1))
+        res_u = BatchedHilbertSchmidtResiduals(vm, target_u)
+        res_s = BatchedStateResiduals(vm, target_s)
+        us_u = best_of(res_u.residuals_and_jacobian, rows) * 1e6
+        us_s = best_of(res_s.residuals_and_jacobian, rows) * 1e6
+        eval_rows.append({
+            "dim": dim,
+            "num_params": ansatz.num_params,
+            "batch": args.starts,
+            "residual_rows_unitary": 2 * dim * dim,
+            "residual_rows_state": 2 * dim,
+            "unitary_us_per_call": us_u,
+            "state_us_per_call": us_s,
+            "state_speedup": us_u / us_s,
+        })
+        print(f"per-candidate eval D={dim:<3} ({ansatz.num_params} params, "
+              f"batch {args.starts}): unitary {us_u:7.1f} us/call, "
+              f"state {us_s:7.1f} us/call -> "
+              f"{us_u / us_s:.2f}x cheaper")
+    state_speedup = eval_rows[-1]["state_speedup"]
+
+    # Whole-fit context at D=8: same engine, both target types (the
+    # state landscape is flatter — rank-deficient Jacobian — so it
+    # spends more LM iterations even though each one is cheaper).
+    ansatz = build_qsearch_ansatz(3, 2, 2)
+    ref_params = np.random.default_rng(args.seed_base + 7).uniform(
+        -np.pi, np.pi, ansatz.num_params
+    )
+    target_u = ansatz.get_unitary(ref_params)
+    target_s = np.ascontiguousarray(target_u[:, 0])
+    engine = Instantiater(ansatz, strategy="batched")
+    engine.instantiate(target_u, starts=args.starts, rng=0)  # warm-up
+    engine.instantiate(target_s, starts=args.starts, rng=0)
+    trials = 3
+    fit = {"unitary": {"seconds": 0.0, "evaluations": 0},
+           "state": {"seconds": 0.0, "evaluations": 0}}
+    for s in range(trials):
+        for kind, target in (("unitary", target_u), ("state", target_s)):
+            r = engine.instantiate(target, starts=args.starts, rng=100 + s)
+            fit[kind]["seconds"] += r.optimize_seconds
+            fit[kind]["evaluations"] += r.total_evaluations
+    for kind in fit:
+        fit[kind]["seconds_per_evaluation"] = (
+            fit[kind]["seconds"] / max(1, fit[kind]["evaluations"])
+        )
+
+    solved = sum(r["runs"][0]["solved"] for r in target_rows)
+    report = {
+        "mode": "state-prep",
+        "starts": args.starts,
+        "backends": backends,
+        "targets_total": len(target_rows),
+        "targets_solved": solved,
+        "identical_across_backends": identical_backends,
+        "identical_across_workers": identical_workers,
+        "targets": target_rows,
+        "backend_wall_seconds": backend_walls,
+        "ghz3_workers": worker_runs,
+        "per_candidate_evaluation": eval_rows,
+        "state_speedup_per_evaluation": state_speedup,
+        "whole_fit_d8": {
+            "num_params": ansatz.num_params,
+            "starts": args.starts,
+            "trials": trials,
+            "unitary": fit["unitary"],
+            "state": fit["state"],
+        },
+    }
+    print(f"\nstate-prep suite: {solved}/{len(target_rows)} targets solved, "
+          f"identical backends={identical_backends}, "
+          f"workers={identical_workers}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--random-targets", type=int, default=5)
@@ -435,6 +666,13 @@ def main() -> None:
         "(e.g. closures,fused) instead of the default suite",
     )
     parser.add_argument(
+        "--state-prep",
+        action="store_true",
+        help="run the state-preparation suite (GHZ + random states, "
+        "closures vs fused, 1 vs 2 workers, per-candidate cost micro) "
+        "instead of the default suite",
+    )
+    parser.add_argument(
         "--json",
         default="",
         metavar="PATH",
@@ -443,9 +681,16 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    if args.compare_workers and args.backends:
-        parser.error("--compare-workers and --backends are exclusive")
-    if args.compare_workers:
+    exclusive = [
+        bool(args.compare_workers), bool(args.backends), args.state_prep
+    ]
+    if sum(exclusive) > 1:
+        parser.error(
+            "--compare-workers, --backends, and --state-prep are exclusive"
+        )
+    if args.state_prep:
+        state_prep_suite(args)
+    elif args.compare_workers:
         worker_counts = [
             int(tok) for tok in args.compare_workers.split(",") if tok
         ]

@@ -3,8 +3,14 @@
 from .batched import BatchedInstantiater
 from .cost import (
     BatchedHilbertSchmidtResiduals,
+    BatchedStateResiduals,
     HilbertSchmidtResiduals,
+    StateResiduals,
+    as_target_array,
     infidelity_from_cost,
+    is_state_target,
+    state_infidelity_from_cost,
+    state_success_cost,
 )
 from .gd import AdamOptions, AdamResult, InfidelityFunction, adam_minimize
 from .instantiater import (
@@ -36,7 +42,13 @@ __all__ = [
     "SUCCESS_THRESHOLD",
     "HilbertSchmidtResiduals",
     "BatchedHilbertSchmidtResiduals",
+    "StateResiduals",
+    "BatchedStateResiduals",
     "infidelity_from_cost",
+    "state_infidelity_from_cost",
+    "state_success_cost",
+    "is_state_target",
+    "as_target_array",
     "LMOptions",
     "LMResult",
     "levenberg_marquardt",

@@ -28,7 +28,14 @@ import numpy as np
 from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache
 from ..tnvm.vm import BatchedTNVM, Differentiation
-from .cost import BatchedHilbertSchmidtResiduals, infidelity_from_cost
+from .cost import (
+    BatchedHilbertSchmidtResiduals,
+    BatchedStateResiduals,
+    infidelity_from_cost,
+    is_state_target,
+    state_infidelity_from_cost,
+    state_success_cost,
+)
 from .instantiater import (
     SUCCESS_THRESHOLD,
     InstantiationResult,
@@ -73,10 +80,15 @@ class BatchedInstantiater:
         self.aot_seconds = time.perf_counter() - start
         self.success_threshold = success_threshold
         self.num_params = self.program.num_params
-        # Encode the infidelity threshold as a residual-cost threshold.
+        # Encode the infidelity threshold as a residual-cost threshold
+        # per target type (see Instantiater.__init__).
         self.lm_options = dataclasses.replace(
             lm_options or LMOptions(),
             success_cost=2.0 * self.program.dim * success_threshold,
+        )
+        self._state_lm_options = dataclasses.replace(
+            self.lm_options,
+            success_cost=state_success_cost(success_threshold),
         )
         self._vms: dict[int, BatchedTNVM] = {}
 
@@ -105,6 +117,10 @@ class BatchedInstantiater:
     ) -> InstantiationResult:
         """Fit the circuit to ``target``, all starts in one batch.
 
+        ``target`` may be a ``(D, D)`` unitary (Eq. 1 fit) or a
+        :class:`~repro.utils.Statevector` / 1-D amplitude vector
+        (state preparation, ``O(D)`` residuals per start).
+
         ``x0`` seeds the first start; remaining starts draw uniform
         random parameters in ``[-2pi, 2pi)`` — the same draw order as
         the sequential engine, so a given ``rng`` seed produces the
@@ -119,8 +135,15 @@ class BatchedInstantiater:
             )
 
         vm = self._vm_for(num_starts)
-        residuals = BatchedHilbertSchmidtResiduals(vm, target)
-        success_cost = self.lm_options.success_cost
+        if is_state_target(target):
+            residuals = BatchedStateResiduals(vm, target)
+            options = self._state_lm_options
+            to_infidelity = state_infidelity_from_cost
+        else:
+            residuals = BatchedHilbertSchmidtResiduals(vm, target)
+            options = self.lm_options
+            to_infidelity = None
+        success_cost = options.success_cost
 
         def should_abandon(live: np.ndarray, cost: np.ndarray) -> bool:
             # The sequential engine stops after the first start s where
@@ -140,7 +163,7 @@ class BatchedInstantiater:
         runs = batched_levenberg_marquardt(
             residuals.residuals_and_jacobian,
             guesses,
-            self.lm_options,
+            options,
             should_abandon=should_abandon,
         )
         optimize_seconds = time.perf_counter() - t0
@@ -149,9 +172,15 @@ class BatchedInstantiater:
         # start, ``starts_used`` and the short-circuit point agree with
         # the sequential engine.  Abandoned runs sit past the
         # short-circuit point by construction and are never scanned.
-        best, used = scan_winner(runs, vm.dim, self.success_threshold)
+        best, used = scan_winner(
+            runs, vm.dim, self.success_threshold, to_infidelity
+        )
 
-        infidelity = infidelity_from_cost(best.cost, vm.dim)
+        infidelity = (
+            to_infidelity(best.cost)
+            if to_infidelity is not None
+            else infidelity_from_cost(best.cost, vm.dim)
+        )
         return InstantiationResult(
             params=best.params,
             infidelity=infidelity,

@@ -1,28 +1,53 @@
-"""Hilbert–Schmidt cost and residual functions (paper Eq. 1).
+"""Cost and residual functions for instantiation targets.
 
-The infidelity ``L(theta) = 1 - |Tr(U_target^dag U(theta))| / D`` is
-minimized in least-squares form: the residual vector stacks the real and
-imaginary parts of ``U(theta) - phase * U_target`` where ``phase`` is
-the optimal global-phase alignment.  Then
+Two target types share one least-squares machinery:
+
+**Unitary targets** (paper Eq. 1): the infidelity
+``L(theta) = 1 - |Tr(U_target^dag U(theta))| / D`` is minimized in
+least-squares form — the residual vector stacks the real and imaginary
+parts of ``U(theta) - phase * U_target`` where ``phase`` is the optimal
+global-phase alignment.  Then
 
     ``sum(r^2) = 2 * D * L(theta)``
 
-so driving the residuals to zero is exactly minimizing Eq. (1).  The
-Jacobian uses the TNVM's forward-mode gradient with the phase treated
-as locally constant (the standard Gauss–Newton approximation, as in
-BQSKit's CERES residual functions).
+so driving the residuals to zero is exactly minimizing Eq. (1).
+
+**Statevector targets** (state preparation): fit ``U(theta)|0>`` to a
+target state, the search-based synthesis workload the paper's engine
+exists to serve.  The infidelity is ``1 - |<target|U(theta)|0>|^2``
+and the residuals stack the real and imaginary parts of
+``U(theta) e_0 - phase * target`` — only the *first column* of the
+evaluated unitary, so the residual vector is ``O(D)`` where the
+unitary fit's is ``O(D^2)``; state prep is the cheapest workload per
+candidate the engine has.  With unit-norm states
+``sum(r^2) = 2 * (1 - |overlap|)``, converted back to the infidelity
+by :func:`state_infidelity_from_cost`.
+
+All Jacobians use the TNVM's forward-mode gradient with the phase
+treated as locally constant (the standard Gauss–Newton approximation,
+as in BQSKit's CERES residual functions); the state Jacobian reads the
+first columns of the gradient tensor.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..tnvm.vm import TNVM, BatchedTNVM, Differentiation
+from ..utils.statevector import Statevector
 
 __all__ = [
     "HilbertSchmidtResiduals",
     "BatchedHilbertSchmidtResiduals",
+    "StateResiduals",
+    "BatchedStateResiduals",
     "infidelity_from_cost",
+    "state_infidelity_from_cost",
+    "state_success_cost",
+    "as_target_array",
+    "is_state_target",
 ]
 
 
@@ -155,8 +180,188 @@ class BatchedHilbertSchmidtResiduals:
         return phase[:, None, None] * self.target
 
 
-def infidelity_from_cost(sum_sq_residuals: float, dim: int) -> float:
+# ----------------------------------------------------------------------
+# Statevector targets (state preparation)
+# ----------------------------------------------------------------------
+
+
+def _as_state(target, dim: int) -> np.ndarray:
+    """The target as a validated ``(dim,)`` complex128 amplitude vector."""
+    if isinstance(target, Statevector):
+        target = target.amplitudes
+    target = np.asarray(target, dtype=np.complex128)
+    if target.shape != (dim,):
+        raise ValueError(
+            f"target state shape {target.shape} does not match circuit "
+            f"dimension {dim}"
+        )
+    norm = np.linalg.norm(target)
+    # Loose enough for f32-sourced amplitudes; states further off unit
+    # norm should go through Statevector.from_amplitudes(normalize=True).
+    if not math.isclose(norm, 1.0, abs_tol=1e-6):
+        raise ValueError(
+            f"target state norm is {norm:.8g}, expected 1; renormalize "
+            "with Statevector.from_amplitudes(..., normalize=True)"
+        )
+    return target
+
+
+class StateResiduals:
+    """Residuals + Jacobian for preparing a target state.
+
+    Fits ``U(theta)|0>`` — the first column of the circuit unitary —
+    to ``target`` up to global phase.  ``2D`` residuals instead of the
+    unitary fit's ``2D^2``.
+
+    Parameters
+    ----------
+    vm:
+        A gradient-capable TNVM for the circuit.
+    target:
+        The target state: a :class:`~repro.utils.Statevector` or a
+        unit-norm amplitude vector of shape ``(D,)``.
+    """
+
+    def __init__(self, vm: TNVM, target):
+        if vm.diff is not Differentiation.GRADIENT:
+            raise ValueError("residuals require a GRADIENT TNVM")
+        self.vm = vm
+        self.dim = vm.dim
+        self.target = _as_state(target, self.dim)
+        self.num_params = vm.num_params
+        self.num_residuals = 2 * self.dim
+
+    # ------------------------------------------------------------------
+    def cost(self, params: np.ndarray) -> float:
+        """The state-prep infidelity ``1 - |<target|U|0>|^2``."""
+        col = self.vm.evaluate(params)[:, 0]
+        overlap = np.vdot(self.target, col)
+        return float(1.0 - abs(overlap) ** 2)
+
+    def residuals(self, params: np.ndarray) -> np.ndarray:
+        col = self.vm.evaluate(params)[:, 0]
+        diff = col - self._aligned_target(col)
+        return np.concatenate([diff.real, diff.imag])
+
+    def residuals_and_jacobian(
+        self, params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual vector (2D,) and Jacobian (2D, P)."""
+        u, grad = self.vm.evaluate_with_grad(params)
+        col = u[:, 0]
+        diff = col - self._aligned_target(col)
+        r = np.concatenate([diff.real, diff.imag])
+        # d(U e_0)/dtheta_k is the first column of each gradient matrix.
+        flat = grad[:, :, 0]
+        jac = np.concatenate([flat.real, flat.imag], axis=1).T
+        return r, np.ascontiguousarray(jac)
+
+    def _aligned_target(self, col: np.ndarray) -> np.ndarray:
+        overlap = np.vdot(self.target, col)
+        mag = abs(overlap)
+        phase = overlap / mag if mag > 1e-300 else 1.0
+        return phase * self.target
+
+
+class BatchedStateResiduals:
+    """Batched state-prep residuals + Jacobian: ``S`` starts at once.
+
+    The same column-only least-squares form as :class:`StateResiduals`,
+    computed for every row of a ``(S, P)`` parameter matrix in one
+    vectorized :class:`~repro.tnvm.vm.BatchedTNVM` sweep.  Phase
+    alignment is per-start.
+    """
+
+    def __init__(self, vm: BatchedTNVM, target):
+        if vm.diff is not Differentiation.GRADIENT:
+            raise ValueError("residuals require a GRADIENT BatchedTNVM")
+        self.vm = vm
+        self.dim = vm.dim
+        self.target = _as_state(target, self.dim)
+        self.batch = vm.batch
+        self.num_params = vm.num_params
+        self.num_residuals = 2 * self.dim
+
+    # ------------------------------------------------------------------
+    def cost(self, params: np.ndarray) -> np.ndarray:
+        """Per-start state-prep infidelity, shape ``(S,)``."""
+        cols = self.vm.evaluate(params)[:, :, 0]
+        overlap = cols @ self.target.conj()
+        return 1.0 - np.abs(overlap) ** 2
+
+    def residuals(self, params: np.ndarray) -> np.ndarray:
+        cols = self.vm.evaluate(params)[:, :, 0]
+        diff = cols - self._aligned_targets(cols)
+        return np.concatenate([diff.real, diff.imag], axis=1)
+
+    def residuals_and_jacobian(
+        self, params: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Residual matrix ``(S, 2D)`` and Jacobian ``(S, 2D, P)``."""
+        u, grad = self.vm.evaluate_with_grad(params)
+        cols = u[:, :, 0]
+        diff = cols - self._aligned_targets(cols)
+        r = np.concatenate([diff.real, diff.imag], axis=1)
+        flat = grad[:, :, :, 0]
+        jac = np.concatenate([flat.real, flat.imag], axis=2).transpose(
+            0, 2, 1
+        )
+        return r, np.ascontiguousarray(jac)
+
+    def _aligned_targets(self, cols: np.ndarray) -> np.ndarray:
+        overlap = cols @ self.target.conj()
+        mag = np.abs(overlap)
+        safe = np.where(mag > 1e-300, mag, 1.0)
+        phase = np.where(mag > 1e-300, overlap / safe, 1.0)
+        return phase[:, None] * self.target
+
+
+# ----------------------------------------------------------------------
+# Cost <-> infidelity conversions and target dispatch
+# ----------------------------------------------------------------------
+
+
+def infidelity_from_cost(
+    sum_sq_residuals: float | np.ndarray, dim: int
+) -> float | np.ndarray:
     """Convert a least-squares cost ``sum(r^2)`` back to Eq. (1).
 
     Accepts a scalar or an array of costs (batched multi-start)."""
     return sum_sq_residuals / (2.0 * dim)
+
+
+def state_infidelity_from_cost(
+    sum_sq_residuals: float | np.ndarray,
+) -> float | np.ndarray:
+    """Convert a state-prep cost ``sum(r^2)`` to ``1 - |overlap|^2``.
+
+    With unit-norm states ``sum(r^2) = 2 * (1 - |overlap|)``, so
+    ``|overlap| = 1 - c/2`` and the infidelity is ``c - c^2/4``.
+    Accepts a scalar or an array of costs (batched multi-start)."""
+    c = sum_sq_residuals
+    return c - 0.25 * c * c
+
+
+def state_success_cost(success_threshold: float) -> float:
+    """The ``sum(r^2)`` value at which the state-prep infidelity
+    reaches ``success_threshold`` (inverse of
+    :func:`state_infidelity_from_cost`)."""
+    t = min(max(success_threshold, 0.0), 1.0)
+    return 2.0 * (1.0 - math.sqrt(1.0 - t))
+
+
+def is_state_target(target) -> bool:
+    """True when ``target`` selects the state-preparation cost: a
+    :class:`~repro.utils.Statevector` or a 1-D amplitude vector (2-D
+    arrays are unitary-fit targets)."""
+    if isinstance(target, Statevector):
+        return True
+    return np.asarray(target).ndim == 1
+
+
+def as_target_array(target) -> np.ndarray:
+    """Coerce an instantiation target into its complex128 array form:
+    2-D for a unitary fit, 1-D for state preparation."""
+    if isinstance(target, Statevector):
+        target = target.amplitudes
+    return np.asarray(target, dtype=np.complex128)

@@ -28,7 +28,15 @@ from ..tnvm.fused import (
     resolve_backend,
 )
 from ..tnvm.vm import TNVM, Differentiation
-from .cost import HilbertSchmidtResiduals, infidelity_from_cost
+from ..utils.statevector import Statevector
+from .cost import (
+    HilbertSchmidtResiduals,
+    StateResiduals,
+    infidelity_from_cost,
+    is_state_target,
+    state_infidelity_from_cost,
+    state_success_cost,
+)
 from .lm import LMOptions, LMResult, levenberg_marquardt
 
 __all__ = [
@@ -72,7 +80,7 @@ def draw_guess(
     return rng.uniform(-2 * np.pi, 2 * np.pi, num_params)
 
 
-def scan_winner(runs, dim: int, success_threshold: float):
+def scan_winner(runs, dim: int, success_threshold: float, to_infidelity=None):
     """The multi-start winner scan: best-so-far by cost, stopping at
     the first start where the best reaches the threshold (the paper's
     early-termination short-circuit).
@@ -83,15 +91,23 @@ def scan_winner(runs, dim: int, success_threshold: float):
     the same scan over its completed runs, which is what guarantees
     the two engines agree on the winning start and ``starts_used``.
 
+    ``to_infidelity`` converts a least-squares cost to the target
+    type's infidelity; the default is the Eq. (1) Hilbert–Schmidt
+    conversion for ``dim`` (state-prep scans pass
+    :func:`~repro.instantiation.cost.state_infidelity_from_cost`).
+
     Returns ``(best_run, starts_used)``.
     """
+    if to_infidelity is None:
+        def to_infidelity(cost):
+            return infidelity_from_cost(cost, dim)
     best: LMResult | None = None
     used = 0
     for run in runs:
         used += 1
         if best is None or run.cost < best.cost:
             best = run
-        if infidelity_from_cost(best.cost, dim) <= success_threshold:
+        if to_infidelity(best.cost) <= success_threshold:
             break  # short-circuit: a valid solution was found
     return best, used
 
@@ -192,10 +208,17 @@ class Instantiater:
         self.success_threshold = success_threshold
         self.num_params = self.program.num_params
         self._batched_engine = None
-        # Encode the infidelity threshold as a residual-cost threshold.
+        # Encode the infidelity threshold as a residual-cost threshold,
+        # once per target type: unitary fits stop at 2*D*threshold
+        # (Eq. 1), state-prep fits at the O(D) residual form's
+        # equivalent (see cost.state_success_cost).
         self.lm_options = dataclasses.replace(
             lm_options or LMOptions(),
             success_cost=2.0 * self.program.dim * success_threshold,
+        )
+        self._state_lm_options = dataclasses.replace(
+            self.lm_options,
+            success_cost=state_success_cost(success_threshold),
         )
 
     @property
@@ -326,13 +349,19 @@ class Instantiater:
 
     def instantiate(
         self,
-        target: np.ndarray,
+        target: np.ndarray | Statevector,
         starts: int = 1,
         rng: np.random.Generator | int | None = None,
         x0: np.ndarray | None = None,
         strategy: str | None = None,
     ) -> InstantiationResult:
         """Fit the circuit to ``target`` with multi-start LM.
+
+        ``target`` selects the cost: a ``(D, D)`` matrix is a unitary
+        fit (Eq. 1); a :class:`~repro.utils.Statevector` or 1-D
+        amplitude vector is a state-preparation fit of
+        ``U(theta)|0>`` (``O(D)`` residuals).  Both target types run
+        through the same compiled engine — no recompilation.
 
         ``x0`` seeds the first start; remaining starts draw uniform
         random parameters in ``[-2pi, 2pi)``.  ``strategy`` overrides
@@ -360,7 +389,14 @@ class Instantiater:
             )
 
         rng = np.random.default_rng(rng)
-        residuals = HilbertSchmidtResiduals(self.vm, target)
+        if is_state_target(target):
+            residuals = StateResiduals(self.vm, target)
+            options = self._state_lm_options
+            to_infidelity = state_infidelity_from_cost
+        else:
+            residuals = HilbertSchmidtResiduals(self.vm, target)
+            options = self.lm_options
+            to_infidelity = None
         fn = residuals.residuals_and_jacobian
 
         t0 = time.perf_counter()
@@ -374,15 +410,19 @@ class Instantiater:
                 guess = draw_guess(
                     rng, self.num_params, x0 if s == 0 else None
                 )
-                run = levenberg_marquardt(fn, guess, self.lm_options)
+                run = levenberg_marquardt(fn, guess, options)
                 runs.append(run)
                 yield run
 
         best, used = scan_winner(
-            run_starts(), self.vm.dim, self.success_threshold
+            run_starts(), self.vm.dim, self.success_threshold, to_infidelity
         )
         optimize_seconds = time.perf_counter() - t0
-        infidelity = infidelity_from_cost(best.cost, self.vm.dim)
+        infidelity = (
+            to_infidelity(best.cost)
+            if to_infidelity is not None
+            else infidelity_from_cost(best.cost, self.vm.dim)
+        )
         return InstantiationResult(
             params=best.params,
             infidelity=infidelity,
@@ -398,7 +438,7 @@ class Instantiater:
 
 def instantiate(
     circuit: QuditCircuit,
-    target: np.ndarray,
+    target: np.ndarray | Statevector,
     starts: int = 1,
     rng: np.random.Generator | int | None = None,
     precision: str = "f64",
@@ -407,7 +447,11 @@ def instantiate(
     strategy: str = "sequential",
     backend: str = "auto",
 ) -> InstantiationResult:
-    """One-shot convenience wrapper around :class:`Instantiater`."""
+    """One-shot convenience wrapper around :class:`Instantiater`.
+
+    ``target`` may be a ``(D, D)`` unitary, a
+    :class:`~repro.utils.Statevector`, or a 1-D amplitude vector
+    (state preparation)."""
     engine = Instantiater(
         circuit,
         precision=precision,

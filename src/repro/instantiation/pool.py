@@ -111,8 +111,29 @@ class EnginePool:
             )
         self._engines[key] = engine
         while len(self._engines) > self.capacity:
-            self._engines.popitem(last=False)
+            evicted_key, evicted = self._engines.popitem(last=False)
+            # Snapshot on the way out: an evicted shape that was never
+            # shipped to a worker would otherwise re-pay the full AOT
+            # compile on its next hit, even though the payload LRU
+            # exists precisely to make eviction cheap.  Serializing a
+            # live engine costs far less than recompiling one.
+            if evicted_key in self._payloads:
+                self._payloads.move_to_end(evicted_key)
+            else:
+                self._store_payload(
+                    evicted_key,
+                    pickle.dumps(
+                        evicted.serialize(),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    ),
+                )
         return engine
+
+    def _store_payload(self, key: tuple, payload: bytes) -> None:
+        """Insert pickled snapshot bytes into the bounded payload LRU."""
+        self._payloads[key] = payload
+        while len(self._payloads) > self._payload_capacity:
+            self._payloads.popitem(last=False)
 
     def serialized_bytes(self, circuit: QuditCircuit) -> bytes:
         """Pickled :class:`~repro.instantiation.SerializedEngine` bytes
@@ -130,9 +151,7 @@ class EnginePool:
             payload = pickle.dumps(
                 engine.serialize(), protocol=pickle.HIGHEST_PROTOCOL
             )
-            self._payloads[key] = payload
-            while len(self._payloads) > self._payload_capacity:
-                self._payloads.popitem(last=False)
+            self._store_payload(key, payload)
         else:
             self._payloads.move_to_end(key)
         return payload

@@ -35,9 +35,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..circuit.circuit import QuditCircuit
+from ..instantiation.cost import as_target_array, is_state_target
 from ..instantiation.instantiater import Instantiater
 from ..instantiation.pool import EnginePool
 from ..jit.cache import ExpressionCache
+from ..utils.statevector import state_prep_infidelity
 from ..utils.unitary import hilbert_schmidt_infidelity
 
 __all__ = [
@@ -67,7 +69,12 @@ def candidate_seed(base_seed: int, key: object) -> int:
 
 @dataclass
 class FitJob:
-    """One candidate fit: circuit, target, and its derived seed."""
+    """One candidate fit: circuit, target, and its derived seed.
+
+    ``target`` is a ``(D, D)`` unitary (Eq. 1 fit) or a 1-D amplitude
+    vector (state preparation); the engines dispatch on the shape, so
+    both target types flow through the same executors, process pool,
+    and shipped-engine payloads."""
 
     circuit: QuditCircuit
     target: np.ndarray
@@ -91,9 +98,11 @@ class FitOutcome:
 def _constant_outcome(job: FitJob) -> FitOutcome:
     """A fully constant candidate has nothing to optimize."""
     t0 = time.perf_counter()
-    infidelity = hilbert_schmidt_infidelity(
-        job.target, job.circuit.get_unitary(())
-    )
+    unitary = job.circuit.get_unitary(())
+    if is_state_target(job.target):
+        infidelity = state_prep_infidelity(job.target, unitary)
+    else:
+        infidelity = hilbert_schmidt_infidelity(as_target_array(job.target), unitary)
     return FitOutcome(
         params=np.empty(0),
         infidelity=infidelity,

@@ -29,9 +29,11 @@ from typing import Sequence
 import numpy as np
 
 from ..circuit.circuit import Operation, QuditCircuit
+from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
+from ..utils.statevector import Statevector
 from ..utils.unitary import hilbert_schmidt_infidelity
 from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
 from .result import SynthesisResult
@@ -167,19 +169,26 @@ class Resynthesizer:
         self,
         circuit: QuditCircuit,
         params: Sequence[float] = (),
-        target: np.ndarray | None = None,
+        target: np.ndarray | Statevector | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> SynthesisResult:
         """Compress ``circuit`` while preserving its unitary.
 
         ``target`` defaults to the circuit's own unitary at ``params``
         (resynthesis); pass an explicit target to compress toward a
-        different unitary the circuit is known to reach.
+        different unitary the circuit is known to reach.  A
+        :class:`~repro.utils.Statevector` or 1-D amplitude vector
+        compresses a state-preparation circuit instead: deletions are
+        kept as long as ``U(theta)|0>`` still reaches the state, a
+        strictly weaker constraint than preserving the full unitary —
+        so state-prep compression typically deletes more gates.
         """
         t0 = time.perf_counter()
         params = np.asarray(params, dtype=np.float64)
         if target is None:
             target = circuit.get_unitary(params)
+        else:
+            target = as_target_array(target)
         rng = np.random.default_rng(rng)
         base_seed = int(rng.integers(2**63))
         hits0, misses0 = self.pool.hits, self.pool.misses

@@ -37,9 +37,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..circuit.circuit import QuditCircuit
+from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
+from ..utils.statevector import Statevector
 from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
 from .layers import LayerGenerator, QSearchLayerGenerator
 from .result import SynthesisResult
@@ -268,16 +270,32 @@ class SynthesisSearch:
 
     def synthesize(
         self,
-        target: np.ndarray,
+        target: np.ndarray | Statevector,
         radices: tuple[int, ...] | None = None,
         rng: np.random.Generator | int | None = None,
     ) -> SynthesisResult:
         """Search for a circuit implementing ``target`` up to global
-        phase, to the configured success threshold."""
+        phase, to the configured success threshold.
+
+        ``target`` is a ``(D, D)`` unitary (circuit synthesis) or a
+        :class:`~repro.utils.Statevector` / 1-D amplitude vector
+        (state preparation: the candidates' fits drive
+        ``U(theta)|0>`` toward the state, with ``O(D)`` residuals per
+        candidate).  A ``Statevector`` supplies its own radices; both
+        target types share the search's engine pool, since engines are
+        keyed by circuit structure only.
+        """
         t0 = time.perf_counter()
-        target = np.asarray(target, dtype=np.complex128)
-        if target.ndim != 2 or target.shape[0] != target.shape[1]:
+        if isinstance(target, Statevector) and radices is None:
+            radices = target.radices
+        target = as_target_array(target)
+        if target.ndim == 2 and target.shape[0] != target.shape[1]:
             raise ValueError("target must be a square matrix")
+        if target.ndim not in (1, 2):
+            raise ValueError(
+                "target must be a (D, D) unitary, a Statevector, or a "
+                "1-D amplitude vector"
+            )
         radices = (
             tuple(int(r) for r in radices)
             if radices is not None

@@ -1,6 +1,6 @@
 """Shared utilities: unitary helpers and a small state-vector simulator."""
 
-from .statevector import Statevector
+from .statevector import Statevector, state_prep_infidelity
 from .unitary import (
     closest_phase,
     global_phase_distance,
@@ -16,4 +16,5 @@ __all__ = [
     "closest_phase",
     "is_unitary",
     "Statevector",
+    "state_prep_infidelity",
 ]

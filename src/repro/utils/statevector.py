@@ -13,7 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["Statevector"]
+__all__ = ["Statevector", "state_prep_infidelity"]
 
 
 class Statevector:
@@ -27,16 +27,63 @@ class Statevector:
 
     @staticmethod
     def from_amplitudes(
-        amplitudes: np.ndarray, radices: Sequence[int]
+        amplitudes: np.ndarray,
+        radices: Sequence[int],
+        normalize: bool = False,
     ) -> "Statevector":
+        """Build a state from an explicit amplitude vector.
+
+        The norm check is dtype-aware: a vector normalized in f32
+        carries ``O(dim * eps_f32)`` norm error, far above the f64
+        round-off the old fixed ``1e-9`` tolerance assumed, so the
+        tolerance scales with the *input* array's precision.  A vector
+        accepted under a loose (f32-grade) tolerance is renormalized
+        in f64, so every constructed ``Statevector`` is unit-norm to
+        engine precision; vectors already tight in f64 are stored
+        bit-for-bit.  Pass ``normalize=True`` to renormalize instead
+        of raising (states from noisy or truncated sources).
+        """
         state = Statevector(radices)
-        amplitudes = np.asarray(amplitudes, dtype=np.complex128)
+        raw = np.asarray(amplitudes)
+        amplitudes = np.asarray(raw, dtype=np.complex128)
         if amplitudes.shape != (state.dim,):
             raise ValueError("amplitude vector has the wrong dimension")
         norm = np.linalg.norm(amplitudes)
-        if not math.isclose(norm, 1.0, abs_tol=1e-9):
-            raise ValueError("state is not normalized")
-        state.amplitudes = amplitudes.copy()
+        if normalize:
+            if norm < 1e-12:
+                raise ValueError("cannot normalize a zero state")
+            amplitudes = amplitudes / norm
+        else:
+            eps = (
+                np.finfo(raw.dtype).eps
+                if raw.dtype.kind in "fc"
+                else np.finfo(np.float64).eps
+            )
+            tol = max(1e-9, 16.0 * state.dim * float(eps))
+            if not math.isclose(norm, 1.0, abs_tol=tol):
+                raise ValueError(
+                    f"state is not normalized (norm {norm:.8g}); pass "
+                    "normalize=True to renormalize"
+                )
+            if not math.isclose(norm, 1.0, abs_tol=1e-9):
+                # Accepted under the loose f32-grade tolerance: polish
+                # to unit f64 norm so downstream consumers (e.g. the
+                # instantiation cost functions) see a normalized state.
+                amplitudes = amplitudes / norm
+        state.amplitudes = np.array(amplitudes, dtype=np.complex128)
+        return state
+
+    @staticmethod
+    def ghz(num_qudits: int, radix: int = 2) -> "Statevector":
+        """The generalized GHZ state
+        ``(|0...0> + |1...1> + ... + |(r-1)...(r-1)>) / sqrt(r)``."""
+        if num_qudits < 1:
+            raise ValueError("GHZ state needs at least one qudit")
+        state = Statevector([radix] * num_qudits)
+        state.amplitudes[0] = 0.0
+        stride = (radix**num_qudits - 1) // (radix - 1) if radix > 1 else 1
+        for d in range(radix):
+            state.amplitudes[d * stride] = 1.0 / math.sqrt(radix)
         return state
 
     def apply_unitary(self, unitary: np.ndarray) -> "Statevector":
@@ -66,3 +113,18 @@ class Statevector:
 
     def __repr__(self) -> str:
         return f"<Statevector dim={self.dim}>"
+
+
+def state_prep_infidelity(target, unitary: np.ndarray) -> float:
+    """State-preparation infidelity ``1 - |<target| U |0>|^2``.
+
+    The statevector analogue of
+    :func:`~repro.utils.unitary.hilbert_schmidt_infidelity`: how far
+    ``unitary`` applied to ``|0...0>`` lands from ``target`` (a
+    :class:`Statevector` or amplitude vector), global phase ignored.
+    """
+    if isinstance(target, Statevector):
+        target = target.amplitudes
+    target = np.asarray(target, dtype=np.complex128)
+    col = np.asarray(unitary)[:, 0]
+    return float(1.0 - abs(np.vdot(target, col)) ** 2)

@@ -100,3 +100,11 @@ class TestValidation:
 
     def test_infidelity_from_cost(self):
         assert infidelity_from_cost(8.0, 4) == 1.0
+
+    def test_infidelity_from_cost_accepts_arrays(self):
+        # Regression: the batched path feeds an (S,) cost array; the
+        # function must vectorize (and its annotations now say so).
+        costs = np.array([8.0, 4.0, 0.0])
+        out = infidelity_from_cost(costs, 4)
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_allclose(out, [1.0, 0.5, 0.0])

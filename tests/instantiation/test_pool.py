@@ -65,8 +65,37 @@ class TestLRU:
         ea = pool.engine_for(a)
         pool.engine_for(b)  # evicts a's engine
         assert len(pool) == 1
-        assert pool.engine_for(a) is not ea  # recompiled
+        assert pool.engine_for(a) is not ea  # fresh engine object
         assert pool.misses == 3
+
+    def test_eviction_snapshots_unshipped_engine(self):
+        # An engine evicted before anything serialized its shape must
+        # land in the payload store, so the next hit on that shape
+        # rehydrates (program-backed, no circuit) instead of re-paying
+        # the AOT compile.
+        pool = EnginePool(capacity=1)
+        a = build_qsearch_ansatz(2, 1, 2)
+        b = build_qsearch_ansatz(2, 2, 2)
+        pool.engine_for(a)
+        pool.engine_for(b)  # evicts a, snapshotting it on the way out
+        assert a.structure_key() in pool._payloads
+        revived = pool.engine_for(a)
+        assert revived.circuit is None  # rehydrated, not recompiled
+        target = make_target(a, seed=11)
+        result = revived.instantiate(target, starts=4, rng=2)
+        fresh = EnginePool().engine_for(a).instantiate(
+            target, starts=4, rng=2
+        )
+        assert np.array_equal(result.params, fresh.params)
+        assert result.infidelity == fresh.infidelity
+
+    def test_eviction_snapshot_reuses_existing_payload(self):
+        pool = EnginePool(capacity=1)
+        a = build_qsearch_ansatz(2, 1, 2)
+        payload = pool.serialized_bytes(a)
+        pool.engine_for(build_qsearch_ansatz(2, 2, 2))  # evicts a
+        # The already-serialized payload is kept, not re-pickled.
+        assert pool._payloads[a.structure_key()] is payload
 
     def test_hit_refreshes_recency(self):
         pool = EnginePool(capacity=2)

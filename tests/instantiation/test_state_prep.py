@@ -1,0 +1,247 @@
+"""State-preparation target tests: cost functions and the engine matrix.
+
+The contract: a statevector target flows through every engine path —
+scalar/batched/fused, serialized/rehydrated, pooled — with the same
+bit-identity guarantees as unitary targets, at ``O(D)`` residuals.
+"""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuit import build_qsearch_ansatz
+from repro.instantiation import (
+    BatchedStateResiduals,
+    EnginePool,
+    Instantiater,
+    StateResiduals,
+    instantiate,
+    is_state_target,
+    state_infidelity_from_cost,
+    state_success_cost,
+)
+from repro.tnvm import TNVM, BatchedTNVM, Differentiation
+from repro.utils import Statevector, state_prep_infidelity
+
+
+@pytest.fixture(scope="module")
+def setup():
+    circ = build_qsearch_ansatz(2, 2, 2)
+    vm = TNVM(circ.compile(), diff=Differentiation.GRADIENT)
+    target = Statevector.ghz(2)
+    return circ, vm, StateResiduals(vm, target), target
+
+
+def reachable_state(circ, seed):
+    p = np.random.default_rng(seed).uniform(-np.pi, np.pi, circ.num_params)
+    return np.ascontiguousarray(circ.get_unitary(p)[:, 0])
+
+
+class TestStateResiduals:
+    def test_cost_matches_definition(self, setup):
+        circ, vm, res, target = setup
+        p = np.random.default_rng(1).uniform(-np.pi, np.pi, circ.num_params)
+        u = vm.evaluate(tuple(p)).copy()
+        assert res.cost(p) == pytest.approx(state_prep_infidelity(target, u))
+
+    def test_sum_sq_matches_conversion(self, setup):
+        # sum(r^2) = 2*(1-|overlap|)  <->  infidelity = c - c^2/4
+        circ, vm, res, target = setup
+        p = np.random.default_rng(2).uniform(-np.pi, np.pi, circ.num_params)
+        r = res.residuals(p)
+        assert state_infidelity_from_cost(float(r @ r)) == pytest.approx(
+            res.cost(p), abs=1e-10
+        )
+
+    def test_zero_at_reachable_state(self, setup):
+        circ, vm, _, _ = setup
+        p = np.random.default_rng(3).uniform(-np.pi, np.pi, circ.num_params)
+        res_self = StateResiduals(vm, reachable_state(circ, 3))
+        assert res_self.cost(p) == pytest.approx(0.0, abs=1e-12)
+        assert np.allclose(res_self.residuals(p), 0, atol=1e-8)
+
+    def test_global_phase_invariance(self, setup):
+        circ, vm, _, _ = setup
+        p = np.random.default_rng(4).uniform(-np.pi, np.pi, circ.num_params)
+        state = reachable_state(circ, 4)
+        res_phase = StateResiduals(vm, np.exp(0.42j) * state)
+        assert res_phase.cost(p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_residuals_are_o_of_d(self, setup):
+        circ, vm, res, _ = setup
+        p = np.zeros(circ.num_params)
+        r, jac = res.residuals_and_jacobian(p)
+        assert res.num_residuals == 2 * 4  # 2D, not 2D^2
+        assert r.shape == (2 * 4,)
+        assert jac.shape == (2 * 4, circ.num_params)
+
+    def test_cost_gradient_matches_finite_difference(self, setup):
+        # The envelope theorem makes 2 r^T J exact (phase minimizes).
+        circ, vm, res, _ = setup
+        p = np.random.default_rng(6).uniform(-np.pi, np.pi, circ.num_params)
+        r0, jac = res.residuals_and_jacobian(p)
+        analytic = 2 * (r0 @ jac)
+        eps = 1e-6
+        for k in range(min(circ.num_params, 6)):
+            hi, lo = p.copy(), p.copy()
+            hi[k] += eps
+            lo[k] -= eps
+            rh = res.residuals(hi)
+            rl = res.residuals(lo)
+            fd = (float(rh @ rh) - float(rl @ rl)) / (2 * eps)
+            assert analytic[k] == pytest.approx(fd, abs=1e-5)
+
+    def test_requires_gradient_vm(self):
+        circ = build_qsearch_ansatz(2, 1, 2)
+        vm = TNVM(circ.compile(), diff=Differentiation.NONE)
+        with pytest.raises(ValueError):
+            StateResiduals(vm, Statevector.ghz(2))
+
+    def test_rejects_wrong_dimension(self, setup):
+        _, vm, _, _ = setup
+        with pytest.raises(ValueError):
+            StateResiduals(vm, Statevector.ghz(3))
+
+    def test_rejects_unnormalized_state(self, setup):
+        _, vm, _, _ = setup
+        with pytest.raises(ValueError):
+            StateResiduals(vm, np.array([1.0, 1.0, 0.0, 0.0]))
+
+
+class TestBatchedStateResiduals:
+    def test_rows_match_scalar(self, setup):
+        circ, vm, res, target = setup
+        program = circ.compile()
+        bvm = BatchedTNVM(program, 3, diff=Differentiation.GRADIENT)
+        batched = BatchedStateResiduals(bvm, target)
+        rows = np.random.default_rng(8).uniform(
+            -np.pi, np.pi, (3, circ.num_params)
+        )
+        rb, jb = batched.residuals_and_jacobian(rows)
+        assert rb.shape == (3, 2 * 4)
+        assert jb.shape == (3, 2 * 4, circ.num_params)
+        costs = batched.cost(rows)
+        for s in range(3):
+            rs, js = res.residuals_and_jacobian(rows[s])
+            assert np.allclose(rb[s], rs, atol=1e-12)
+            assert np.allclose(jb[s], js, atol=1e-12)
+            assert costs[s] == pytest.approx(res.cost(rows[s]), abs=1e-12)
+
+
+class TestConversions:
+    def test_state_success_cost_inverts_infidelity(self):
+        for t in (1e-8, 1e-4, 0.1):
+            c = state_success_cost(t)
+            assert state_infidelity_from_cost(c) == pytest.approx(
+                t, rel=1e-9
+            )
+
+    def test_is_state_target(self):
+        assert is_state_target(Statevector.ghz(2))
+        assert is_state_target(np.zeros(4))
+        assert not is_state_target(np.eye(4))
+
+
+class TestEngineMatrix:
+    """Scalar vs batched vs fused engines on one state target."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        circ = build_qsearch_ansatz(2, 1, 2)
+        return circ, Statevector.ghz(2)
+
+    def test_sequential_solves(self, problem):
+        circ, ghz = problem
+        result = instantiate(circ, ghz, starts=4, rng=0)
+        assert result.success
+        assert state_prep_infidelity(
+            ghz, circ.get_unitary(result.params)
+        ) < 1e-7
+
+    def test_closures_vs_fused_bit_identical(self, problem):
+        circ, ghz = problem
+        for strategy in ("sequential", "auto"):
+            r1 = Instantiater(
+                circ.copy(), strategy=strategy, backend="closures"
+            ).instantiate(ghz, starts=6, rng=13)
+            r2 = Instantiater(
+                circ.copy(), strategy=strategy, backend="fused"
+            ).instantiate(ghz, starts=6, rng=13)
+            assert np.array_equal(r1.params, r2.params)
+            assert r1.infidelity == r2.infidelity
+            assert r1.starts_used == r2.starts_used
+            assert r1.total_iterations == r2.total_iterations
+
+    def test_batched_matches_sequential(self, problem):
+        circ, ghz = problem
+        engine = Instantiater(circ, strategy="sequential")
+        seq = engine.instantiate(ghz, starts=5, rng=21)
+        bat = engine.instantiate(ghz, starts=5, rng=21, strategy="batched")
+        # Winner and short-circuit point agree; total_iterations may
+        # not (the batch advances other starts until the winner ends).
+        assert bat.starts_used == seq.starts_used
+        assert bat.runs[0].iterations == seq.runs[0].iterations
+        assert bat.runs[0].stop_reason == seq.runs[0].stop_reason
+        np.testing.assert_allclose(bat.params, seq.params, atol=1e-8)
+        assert bat.infidelity == pytest.approx(seq.infidelity, abs=1e-10)
+
+    def test_statevector_and_array_agree(self, problem):
+        circ, ghz = problem
+        engine = Instantiater(circ)
+        r1 = engine.instantiate(ghz, starts=2, rng=3)
+        r2 = engine.instantiate(ghz.amplitudes, starts=2, rng=3)
+        assert np.array_equal(r1.params, r2.params)
+        assert r1.infidelity == r2.infidelity
+
+    def test_one_engine_serves_both_target_types(self, problem):
+        # The tentpole property: engines are structure-keyed, so a
+        # pool warmed by unitary fits serves state fits at zero
+        # additional compiles.
+        circ, ghz = problem
+        pool = EnginePool()
+        unitary = circ.get_unitary(
+            np.random.default_rng(5).uniform(-np.pi, np.pi, circ.num_params)
+        )
+        engine = pool.engine_for(circ)
+        ru = engine.instantiate(unitary, starts=4, rng=0)
+        rs = pool.engine_for(circ.copy()).instantiate(ghz, starts=4, rng=0)
+        assert pool.misses == 1 and pool.hits == 1
+        assert ru.success and rs.success
+
+
+class TestStateEngineSerialization:
+    def test_rehydrated_engine_fits_state_target(self):
+        circ = build_qsearch_ansatz(2, 1, 2)
+        ghz = Statevector.ghz(2)
+        engine = Instantiater(circ, strategy="auto")
+        payload = pickle.loads(pickle.dumps(engine.serialize()))
+        clone = Instantiater.from_serialized(payload)
+        r1 = engine.instantiate(ghz, starts=6, rng=42)
+        r2 = clone.instantiate(ghz, starts=6, rng=42)
+        assert np.array_equal(r1.params, r2.params)
+        assert r1.infidelity == r2.infidelity
+        assert r1.starts_used == r2.starts_used
+
+    def test_spawn_rehydrated_engine_fits_state_target(self):
+        circ = build_qsearch_ansatz(2, 1, 2)
+        ghz = Statevector.ghz(2)
+        payload_bytes = pickle.dumps(Instantiater(circ).serialize())
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(
+                _child_state_instantiate, (payload_bytes, ghz.amplitudes)
+            )
+        parent = Instantiater(circ).instantiate(ghz, starts=4, rng=9)
+        child_params, child_infidelity = child
+        assert np.array_equal(parent.params, child_params)
+        assert parent.infidelity == child_infidelity
+
+
+def _child_state_instantiate(payload_bytes, amplitudes):
+    from repro.instantiation import Instantiater as ChildInstantiater
+
+    engine = ChildInstantiater.from_serialized(pickle.loads(payload_bytes))
+    result = engine.instantiate(amplitudes, starts=4, rng=9)
+    return result.params, result.infidelity

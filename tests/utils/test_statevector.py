@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuit import build_qft_circuit, gates
-from repro.utils import Statevector
+from repro.utils import Statevector, state_prep_infidelity
 
 
 class TestStatevector:
@@ -16,6 +16,61 @@ class TestStatevector:
     def test_from_amplitudes_validates_norm(self):
         with pytest.raises(ValueError):
             Statevector.from_amplitudes(np.array([1.0, 1.0]), [2])
+
+    def test_from_amplitudes_accepts_f32_normalized(self):
+        # Regression: a vector normalized in f32 carries ~dim*eps_f32
+        # norm error, which the old fixed 1e-9 tolerance rejected.
+        rng = np.random.default_rng(0)
+        amps = (rng.normal(size=8) + 1j * rng.normal(size=8)).astype(
+            np.complex64
+        )
+        amps /= np.linalg.norm(amps)
+        assert abs(float(np.linalg.norm(amps.astype(np.complex128))) - 1.0) \
+            > 1e-12  # genuinely off unit norm in f64
+        sv = Statevector.from_amplitudes(amps, [2, 2, 2])
+        assert sv.dim == 8
+        # Accepted-but-loose vectors are polished to unit f64 norm, so
+        # every constructed Statevector passes the engines' (tighter)
+        # norm validation no matter how large dim * eps_f32 grows.
+        assert abs(float(np.linalg.norm(sv.amplitudes)) - 1.0) < 1e-12
+
+    def test_from_amplitudes_f64_tolerance_still_tight(self):
+        off = np.array([1.0 + 1e-7, 0.0], dtype=np.complex128)
+        with pytest.raises(ValueError):
+            Statevector.from_amplitudes(off, [2])
+
+    def test_from_amplitudes_normalize(self):
+        sv = Statevector.from_amplitudes(
+            np.array([3.0, 4.0]), [2], normalize=True
+        )
+        assert np.allclose(sv.amplitudes, [0.6, 0.8])
+        with pytest.raises(ValueError):
+            Statevector.from_amplitudes(
+                np.zeros(2), [2], normalize=True
+            )
+
+    def test_ghz(self):
+        ghz = Statevector.ghz(3)
+        assert ghz.probabilities()[0] == pytest.approx(0.5)
+        assert ghz.probabilities()[7] == pytest.approx(0.5)
+        assert ghz.probabilities().sum() == pytest.approx(1.0)
+        qutrit = Statevector.ghz(2, radix=3)
+        assert np.flatnonzero(qutrit.amplitudes).tolist() == [0, 4, 8]
+
+    def test_state_prep_infidelity(self):
+        ghz = Statevector.ghz(2)
+        u = np.eye(4, dtype=np.complex128)
+        assert state_prep_infidelity(ghz, u) == pytest.approx(0.5)
+        # Global phase on the prepared column is ignored.
+        h = gates.h().unitary()
+        cx = gates.cx().unitary()
+        circ_u = cx @ np.kron(h, np.eye(2))
+        assert state_prep_infidelity(ghz, circ_u) == pytest.approx(
+            0.0, abs=1e-12
+        )
+        assert state_prep_infidelity(
+            ghz, np.exp(1.3j) * circ_u
+        ) == pytest.approx(0.0, abs=1e-12)
 
     def test_apply_gate_x(self):
         sv = Statevector([2]).apply_gate(gates.x().unitary(), (0,))
