@@ -414,7 +414,7 @@ def random_state(dim: int, seed: int) -> np.ndarray:
 def state_prep_suite(args) -> None:
     """State-preparation synthesis: GHZ + random states, 2-3 qubits.
 
-    Three measurements feed ``BENCH_state_prep.json``:
+    Four measurements feed ``BENCH_state_prep.json``:
 
     1. each target synthesized once per TNVM backend
        (closures vs fused), bit-identity checked;
@@ -424,7 +424,14 @@ def state_prep_suite(args) -> None:
     3. a per-candidate cost micro: the *same* compiled engine fits a
        reachable unitary target and its own first column as a state
        target — the O(D) state residual stack vs the O(D^2) unitary
-       one, per LM evaluation.
+       one, per LM evaluation;
+    4. a column-vs-full engine micro at D=8/16/27: one batched
+       ``evaluate_with_grad`` (batch = the multistart width, exactly
+       the per-candidate engine configuration a fit runs) through a
+       ``COLUMN(0)``-contract program vs the full-unitary program
+       (``backend="auto"`` for both, so each side gets its own
+       fused/closures resolution) — the output-contract speedup every
+       state-prep candidate fit now rides.
     """
     backends = ["closures", "fused"]
     targets = [
@@ -576,6 +583,78 @@ def state_prep_suite(args) -> None:
               f"{us_u / us_s:.2f}x cheaper")
     state_speedup = eval_rows[-1]["state_speedup"]
 
+    # Column-vs-full engine micro: the tentpole measurement.  Batched
+    # VMs at the multistart width under backend="auto" — exactly the
+    # per-candidate engine configuration a fit runs — so the number is
+    # the real per-candidate evaluate_with_grad speedup, not a
+    # single-start abstraction.  One row per radix family — qubits
+    # (D=8), ququarts (D=16), qutrits (D=27) — the contract machinery
+    # is radix-generic.  The two sides run in interleaved rounds
+    # (full, column, full, ...) so slow machine drift lands on both
+    # equally instead of biasing whichever side happened to run later.
+    from repro.tensornet import OutputContract
+
+    def best_of_pair(fn_a, fn_b, arg, reps=150, rounds=6):
+        fn_a(arg)
+        fn_b(arg)  # warm both before the first timed round
+        best_a = best_b = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn_a(arg)
+            best_a = min(best_a, (time.perf_counter() - t0) / reps)
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn_b(arg)
+            best_b = min(best_b, (time.perf_counter() - t0) / reps)
+        return best_a, best_b
+
+    column_rows = []
+    for label, ansatz in (
+        ("3 qubits", build_qsearch_ansatz(3, 2, 2)),
+        ("2 ququarts", build_qsearch_ansatz(2, 2, 4)),
+        ("3 qutrits", build_qsearch_ansatz(3, 2, 3)),
+    ):
+        dim = ansatz.compile().dim
+        xs = np.random.default_rng(args.seed_base + 13).uniform(
+            -np.pi, np.pi, (args.starts, ansatz.num_params)
+        )
+        vm_full = BatchedTNVM(
+            ansatz.compile(),
+            args.starts,
+            diff=Differentiation.GRADIENT,
+            backend="auto",
+        )
+        vm_col = BatchedTNVM(
+            ansatz.compile(contract=OutputContract.column(0)),
+            args.starts,
+            diff=Differentiation.GRADIENT,
+            backend="auto",
+        )
+        t_full, t_col = best_of_pair(
+            vm_full.evaluate_with_grad, vm_col.evaluate_with_grad, xs
+        )
+        us_full, us_col = t_full * 1e6, t_col * 1e6
+        column_rows.append({
+            "system": label,
+            "dim": dim,
+            "num_params": ansatz.num_params,
+            "batch": args.starts,
+            "full_backend": vm_full.backend,
+            "column_backend": vm_col.backend,
+            "full_us_per_call": us_full,
+            "column_us_per_call": us_col,
+            "column_speedup": us_full / us_col,
+        })
+        print(f"column vs full D={dim:<3} ({label}, "
+              f"{ansatz.num_params} params, batch {args.starts}): "
+              f"full[{vm_full.backend}] {us_full:7.1f} us/call, "
+              f"column[{vm_col.backend}] {us_col:7.1f} us/call -> "
+              f"{us_full / us_col:.2f}x")
+    column_speedup_d16 = next(
+        r["column_speedup"] for r in column_rows if r["dim"] == 16
+    )
+
     # Whole-fit context at D=8: same engine, both target types (the
     # state landscape is flatter — rank-deficient Jacobian — so it
     # spends more LM iterations even though each one is cheaper).
@@ -615,6 +694,8 @@ def state_prep_suite(args) -> None:
         "ghz3_workers": worker_runs,
         "per_candidate_evaluation": eval_rows,
         "state_speedup_per_evaluation": state_speedup,
+        "column_vs_full": column_rows,
+        "column_speedup_d16": column_speedup_d16,
         "whole_fit_d8": {
             "num_params": ansatz.num_params,
             "starts": args.starts,

@@ -58,7 +58,7 @@ from .synthesis import (
     SynthesisResult,
     SynthesisSearch,
 )
-from .tensornet import compile_network
+from .tensornet import OutputContract, compile_network
 from .tnvm import TNVM, BatchedTNVM, Differentiation
 from .utils import hilbert_schmidt_infidelity, random_unitary
 
@@ -70,6 +70,7 @@ __all__ = [
     "TNVM",
     "BatchedTNVM",
     "Differentiation",
+    "OutputContract",
     "compile_network",
     "ExpressionCache",
     "global_cache",

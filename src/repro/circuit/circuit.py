@@ -443,17 +443,23 @@ class QuditCircuit:
         fusion: bool = True,
         hoist_constants: bool = True,
         path_strategy: str = "auto",
+        contract=None,
     ) -> Program:
         """AOT-compile to TNVM bytecode.
 
-        The keyword flags mirror :func:`repro.tensornet.compile_network`
-        and exist for the ablation benchmarks.
+        ``contract`` is an :class:`~repro.tensornet.OutputContract`
+        (``None`` = full unitary); column-based contracts compile a
+        program whose dynamic section propagates a single column
+        vector.  The keyword flags mirror
+        :func:`repro.tensornet.compile_network` and exist for the
+        ablation benchmarks.
         """
         return compile_network(
             self.to_tensor_network(),
             fusion=fusion,
             hoist_constants=hoist_constants,
             path_strategy=path_strategy,
+            contract=contract,
         )
 
     def get_unitary(

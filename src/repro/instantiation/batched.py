@@ -27,6 +27,7 @@ import numpy as np
 
 from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache
+from ..tensornet.contract import OutputContract
 from ..tnvm.vm import BatchedTNVM, Differentiation
 from .cost import (
     BatchedHilbertSchmidtResiduals,
@@ -65,6 +66,7 @@ class BatchedInstantiater:
         lm_options: LMOptions | None = None,
         program=None,
         backend: str = "auto",
+        contract: OutputContract | None = None,
     ):
         if circuit is None and program is None:
             raise ValueError("pass a circuit or an AOT-compiled program")
@@ -73,8 +75,14 @@ class BatchedInstantiater:
         self.backend = backend
         # ``program`` lets an owning Instantiater share its compiled
         # bytecode instead of paying the AOT compile twice (and is the
-        # only shape source for engines rehydrated in worker processes).
-        self.program = program if program is not None else circuit.compile()
+        # only shape source for engines rehydrated in worker processes);
+        # its compiled contract then governs.
+        if program is not None:
+            self.contract = OutputContract.for_program(program, contract)
+            self.program = program
+        else:
+            self.contract = OutputContract.coerce(contract)
+            self.program = circuit.compile(contract=self.contract)
         self.precision = precision
         self.cache = cache
         self.aot_seconds = time.perf_counter() - start
@@ -103,6 +111,7 @@ class BatchedInstantiater:
                 diff=Differentiation.GRADIENT,
                 cache=self.cache,
                 backend=self.backend,
+                contract=self.contract,
             )
             self.aot_seconds += time.perf_counter() - t0
             self._vms[batch] = vm
@@ -125,7 +134,23 @@ class BatchedInstantiater:
         random parameters in ``[-2pi, 2pi)`` — the same draw order as
         the sequential engine, so a given ``rng`` seed produces the
         same start population.
+
+        The engine's output contract restricts targets exactly as in
+        :meth:`Instantiater.instantiate`: column engines serve only
+        state-preparation fits; overlap engines don't instantiate.
         """
+        if self.contract.kind == "overlap":
+            raise ValueError(
+                "an OVERLAP-contract engine cannot instantiate: the "
+                "residual form needs column amplitudes, not the reduced "
+                "scalar; build the engine with OutputContract.column(0)"
+            )
+        if self.contract.column_based and not is_state_target(target):
+            raise ValueError(
+                f"a {self.contract.describe()} engine only serves "
+                "state-preparation targets; unitary fits need a "
+                "full-unitary engine"
+            )
         rng = np.random.default_rng(rng)
         num_starts = max(1, starts)
         guesses = np.empty((num_starts, self.num_params))

@@ -25,8 +25,27 @@ by :func:`state_infidelity_from_cost`.
 
 All Jacobians use the TNVM's forward-mode gradient with the phase
 treated as locally constant (the standard Gauss–Newton approximation,
-as in BQSKit's CERES residual functions); the state Jacobian reads the
-first columns of the gradient tensor.
+as in BQSKit's CERES residual functions).
+
+**The evaluate protocol.**  Residual classes read the VM's
+:class:`~repro.tensornet.OutputContract` and consume
+``evaluate``/``evaluate_with_grad`` output at its contract shape —
+there is no implicit "evaluate the full unitary, then slice" step.
+The one documented protocol, for scalar and batched VMs:
+
+=========  =======================  ================================
+contract   ``evaluate``             ``evaluate_with_grad`` gradient
+=========  =======================  ================================
+full       ``(D, D)`` / ``(B,D,D)`` ``(P, D, D)`` / ``(B, P, D, D)``
+column     ``(D,)`` / ``(B, D)``    ``(P, D)`` / ``(B, P, D)``
+overlap    scalar / ``(B,)``        ``(P,)`` / ``(B, P)``
+=========  =======================  ================================
+
+The state-prep classes accept full-unitary VMs (column extracted by
+slicing, the pre-contract behaviour) or ``COLUMN(0)`` VMs (the vector
+used directly — the fast path).  ``OVERLAP`` VMs are rejected: the
+least-squares form needs the column's amplitudes, not the reduced
+scalar.
 """
 
 from __future__ import annotations
@@ -206,6 +225,27 @@ def _as_state(target, dim: int) -> np.ndarray:
     return target
 
 
+def _state_column_mode(vm) -> bool:
+    """Whether a VM's contract delivers the column directly.
+
+    Raises for contracts the state-prep residuals cannot consume:
+    overlaps (the amplitudes are already reduced away) and columns
+    other than 0 (state prep fits ``U(theta) e_0``).
+    """
+    contract = vm.contract
+    if contract.kind == "overlap":
+        raise ValueError(
+            "state-prep residuals need the column amplitudes; an "
+            "OVERLAP-contract VM reduces them to a scalar"
+        )
+    if contract.column_based and contract.column_index != 0:
+        raise ValueError(
+            f"state preparation fits U(theta) e_0, not column "
+            f"{contract.column_index}; use OutputContract.column(0)"
+        )
+    return contract.column_based
+
+
 class StateResiduals:
     """Residuals + Jacobian for preparing a target state.
 
@@ -216,7 +256,10 @@ class StateResiduals:
     Parameters
     ----------
     vm:
-        A gradient-capable TNVM for the circuit.
+        A gradient-capable TNVM for the circuit: full-unitary contract
+        (column sliced out) or ``COLUMN(0)`` contract (the evaluated
+        vector used as-is — the engine never materializes the other
+        ``D - 1`` columns).
     target:
         The target state: a :class:`~repro.utils.Statevector` or a
         unit-norm amplitude vector of shape ``(D,)``.
@@ -230,16 +273,19 @@ class StateResiduals:
         self.target = _as_state(target, self.dim)
         self.num_params = vm.num_params
         self.num_residuals = 2 * self.dim
+        self._column = _state_column_mode(vm)
 
     # ------------------------------------------------------------------
     def cost(self, params: np.ndarray) -> float:
         """The state-prep infidelity ``1 - |<target|U|0>|^2``."""
-        col = self.vm.evaluate(params)[:, 0]
+        out = self.vm.evaluate(params)
+        col = out if self._column else out[:, 0]
         overlap = np.vdot(self.target, col)
         return float(1.0 - abs(overlap) ** 2)
 
     def residuals(self, params: np.ndarray) -> np.ndarray:
-        col = self.vm.evaluate(params)[:, 0]
+        out = self.vm.evaluate(params)
+        col = out if self._column else out[:, 0]
         diff = col - self._aligned_target(col)
         return np.concatenate([diff.real, diff.imag])
 
@@ -248,11 +294,12 @@ class StateResiduals:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Residual vector (2D,) and Jacobian (2D, P)."""
         u, grad = self.vm.evaluate_with_grad(params)
-        col = u[:, 0]
+        col = u if self._column else u[:, 0]
         diff = col - self._aligned_target(col)
         r = np.concatenate([diff.real, diff.imag])
-        # d(U e_0)/dtheta_k is the first column of each gradient matrix.
-        flat = grad[:, :, 0]
+        # d(U e_0)/dtheta_k: a column VM's gradient rows *are* the
+        # column derivatives; a full VM's get their first column sliced.
+        flat = grad if self._column else grad[:, :, 0]
         jac = np.concatenate([flat.real, flat.imag], axis=1).T
         return r, np.ascontiguousarray(jac)
 
@@ -281,16 +328,19 @@ class BatchedStateResiduals:
         self.batch = vm.batch
         self.num_params = vm.num_params
         self.num_residuals = 2 * self.dim
+        self._column = _state_column_mode(vm)
 
     # ------------------------------------------------------------------
     def cost(self, params: np.ndarray) -> np.ndarray:
         """Per-start state-prep infidelity, shape ``(S,)``."""
-        cols = self.vm.evaluate(params)[:, :, 0]
+        out = self.vm.evaluate(params)
+        cols = out if self._column else out[:, :, 0]
         overlap = cols @ self.target.conj()
         return 1.0 - np.abs(overlap) ** 2
 
     def residuals(self, params: np.ndarray) -> np.ndarray:
-        cols = self.vm.evaluate(params)[:, :, 0]
+        out = self.vm.evaluate(params)
+        cols = out if self._column else out[:, :, 0]
         diff = cols - self._aligned_targets(cols)
         return np.concatenate([diff.real, diff.imag], axis=1)
 
@@ -299,10 +349,10 @@ class BatchedStateResiduals:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Residual matrix ``(S, 2D)`` and Jacobian ``(S, 2D, P)``."""
         u, grad = self.vm.evaluate_with_grad(params)
-        cols = u[:, :, 0]
+        cols = u if self._column else u[:, :, 0]
         diff = cols - self._aligned_targets(cols)
         r = np.concatenate([diff.real, diff.imag], axis=1)
-        flat = grad[:, :, :, 0]
+        flat = grad if self._column else grad[:, :, :, 0]
         jac = np.concatenate([flat.real, flat.imag], axis=2).transpose(
             0, 2, 1
         )

@@ -20,6 +20,7 @@ from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache
 from ..jit.compiled import CompiledExpression
 from ..tensornet.bytecode import Program
+from ..tensornet.contract import OutputContract
 from ..tnvm.fused import (
     BACKENDS,
     attach_fused_kernels,
@@ -136,8 +137,12 @@ class SerializedEngine:
     backend: str = "auto"
     #: ``((grad, batched), FusedKernel)`` pairs: the generated megakernel
     #: sources, shipped so workers rehydrate with ``compile()`` instead
-    #: of re-fusing the program (see :mod:`repro.tnvm.fused`).
+    #: of re-fusing the program (see :mod:`repro.tnvm.fused`).  For
+    #: column engines these are the column-specialized kernels.
     fused_kernels: tuple = ()
+    #: the engine's :class:`~repro.tensornet.OutputContract` (``None``
+    #: in payloads from older snapshots = full unitary).
+    contract: object = None
 
 
 @dataclass
@@ -177,6 +182,7 @@ class Instantiater:
         strategy: str = "sequential",
         program: Program | None = None,
         backend: str = "auto",
+        contract: OutputContract | None = None,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -195,8 +201,14 @@ class Instantiater:
         self.precision = precision
         self.cache = cache
         # ``program`` lets a rehydrated engine (or a caller that already
-        # compiled) skip the AOT compile.
-        self.program = program if program is not None else circuit.compile()
+        # compiled) skip the AOT compile; its compiled contract then
+        # governs (an explicit ``contract`` must agree with it).
+        if program is not None:
+            self.contract = OutputContract.for_program(program, contract)
+            self.program = program
+        else:
+            self.contract = OutputContract.coerce(contract)
+            self.program = circuit.compile(contract=self.contract)
         self._vm: TNVM | None = None
         self.aot_seconds = time.perf_counter() - start
         if strategy != "batched":
@@ -234,6 +246,7 @@ class Instantiater:
                 diff=Differentiation.GRADIENT,
                 cache=self.cache,
                 backend=self.backend,
+                contract=self.contract,
             )
             self.aot_seconds += time.perf_counter() - t0
         return self._vm
@@ -251,6 +264,7 @@ class Instantiater:
                 lm_options=self.lm_options,
                 program=self.program,
                 backend=self.backend,
+                contract=self.contract,
             )  # circuit may be None; the shared program carries the shape
             # The bytecode was compiled by *this* engine; report one
             # combined AOT figure rather than double-counting zero.
@@ -286,14 +300,20 @@ class Instantiater:
         # *other* engines (e.g. a fused sibling of a closures engine),
         # which would bloat this engine's payload for nothing.
         wanted: set[tuple[bool, bool]] = set()
-        if resolve_backend(self.backend, self.program.dim) == "fused":
+        column = self.contract.column_based
+        if (
+            resolve_backend(self.backend, self.program.dim, column=column)
+            == "fused"
+        ):
             fused_kernel_for(
                 self.program, list(compiled), grad=True, batched=False
             )
             wanted.add((True, False))
         if (
             self.strategy != "sequential"
-            and resolve_backend(self.backend, self.program.dim, batched=True)
+            and resolve_backend(
+                self.backend, self.program.dim, batched=True, column=column
+            )
             == "fused"
         ):
             fused_kernel_for(
@@ -313,6 +333,7 @@ class Instantiater:
                 for item in cached_fused_kernels(self.program).items()
                 if item[0] in wanted
             ),
+            contract=self.contract,
         )
 
     @classmethod
@@ -345,7 +366,23 @@ class Instantiater:
             strategy=payload.strategy,
             program=payload.program,
             backend=payload.backend,
+            contract=OutputContract.coerce(payload.contract),
         )
+
+    def _check_target_contract(self, target) -> None:
+        """Reject target/contract combinations the engine cannot serve."""
+        if self.contract.kind == "overlap":
+            raise ValueError(
+                "an OVERLAP-contract engine cannot instantiate: the "
+                "residual form needs column amplitudes, not the reduced "
+                "scalar; build the engine with OutputContract.column(0)"
+            )
+        if self.contract.column_based and not is_state_target(target):
+            raise ValueError(
+                f"a {self.contract.describe()} engine only serves "
+                "state-preparation targets; unitary fits need a "
+                "full-unitary engine"
+            )
 
     def instantiate(
         self,
@@ -370,7 +407,14 @@ class Instantiater:
         all starts through one vectorized BatchedTNVM sweep, and
         ``"auto"`` picks batched once enough starts are requested to
         amortize the batch.
+
+        The engine's output contract restricts the admissible targets:
+        a ``COLUMN(0)`` engine only serves state-preparation fits (a
+        unitary target needs all ``D`` columns), and ``OVERLAP``
+        engines don't instantiate at all (the residual form needs the
+        column amplitudes).
         """
+        self._check_target_contract(target)
         strategy = strategy if strategy is not None else self.strategy
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -446,12 +490,15 @@ def instantiate(
     lm_options: LMOptions | None = None,
     strategy: str = "sequential",
     backend: str = "auto",
+    contract: OutputContract | None = None,
 ) -> InstantiationResult:
     """One-shot convenience wrapper around :class:`Instantiater`.
 
     ``target`` may be a ``(D, D)`` unitary, a
     :class:`~repro.utils.Statevector`, or a 1-D amplitude vector
-    (state preparation)."""
+    (state preparation).  ``contract`` selects the engine's output
+    contract; ``OutputContract.column(0)`` compiles the column-
+    specialized program for state-preparation targets."""
     engine = Instantiater(
         circuit,
         precision=precision,
@@ -459,5 +506,6 @@ def instantiate(
         lm_options=lm_options,
         strategy=strategy,
         backend=backend,
+        contract=contract,
     )
     return engine.instantiate(target, starts=starts, rng=rng)

@@ -8,10 +8,14 @@ TNVM setup) that dwarfs the optimization itself on small templates —
 the pool pays it once per shape and hands the compiled engine back for
 every structurally identical candidate after that.
 
-The key is :meth:`QuditCircuit.structure_key`: radices plus the
+The key pairs :meth:`QuditCircuit.structure_key` — radices plus the
 sequence of (expression, location, slot-binding) triples, exactly the
-information the AOT compiler consumes.  Hit/miss counters feed the
-``engine_cache_hits``/``engine_cache_misses`` fields of
+information the AOT compiler consumes — with the requested
+:class:`~repro.tensornet.OutputContract`'s :meth:`key`, so a
+full-unitary engine and a column-specialized engine for the same
+template shape coexist in the cache (a synthesis run that interleaves
+unitary and state-prep targets keeps both hot).  Hit/miss counters
+feed the ``engine_cache_hits``/``engine_cache_misses`` fields of
 :class:`~repro.synthesis.SynthesisResult`.
 """
 
@@ -22,6 +26,7 @@ from collections import OrderedDict
 
 from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache, global_cache
+from ..tensornet.contract import OutputContract
 from .instantiater import SUCCESS_THRESHOLD, Instantiater
 from .lm import LMOptions
 
@@ -74,14 +79,20 @@ class EnginePool:
     def __len__(self) -> int:
         return len(self._engines)
 
-    def engine_for(self, circuit: QuditCircuit) -> Instantiater:
-        """The pooled engine for ``circuit``'s template shape.
+    def engine_for(
+        self, circuit: QuditCircuit, contract: OutputContract | None = None
+    ) -> Instantiater:
+        """The pooled engine for ``circuit``'s template shape under
+        ``contract`` (default: full unitary).
 
-        A hit moves the engine to the front of the LRU order; a miss
-        AOT-compiles a fresh engine and may evict the least recently
-        used one to stay within ``capacity``.
+        Distinct contracts are distinct cache entries — a column
+        engine never evicts or shadows the full-unitary engine for the
+        same shape.  A hit moves the engine to the front of the LRU
+        order; a miss AOT-compiles a fresh engine and may evict the
+        least recently used one to stay within ``capacity``.
         """
-        key = circuit.structure_key()
+        contract = OutputContract.coerce(contract)
+        key = (circuit.structure_key(), contract.key())
         engine = self._engines.get(key)
         if engine is not None:
             self._engines.move_to_end(key)
@@ -108,6 +119,7 @@ class EnginePool:
                 lm_options=self.lm_options,
                 strategy=self.strategy,
                 backend=self.backend,
+                contract=contract,
             )
         self._engines[key] = engine
         while len(self._engines) > self.capacity:
@@ -135,18 +147,24 @@ class EnginePool:
         while len(self._payloads) > self._payload_capacity:
             self._payloads.popitem(last=False)
 
-    def serialized_bytes(self, circuit: QuditCircuit) -> bytes:
+    def serialized_bytes(
+        self, circuit: QuditCircuit, contract: OutputContract | None = None
+    ) -> bytes:
         """Pickled :class:`~repro.instantiation.SerializedEngine` bytes
-        for ``circuit``'s template shape.
+        for ``circuit``'s template shape under ``contract``.
 
         Resolves the pooled engine first (compiling it here, once, on a
         miss — workers never pay AOT) and caches the pickled snapshot
-        per structure key, so shipping the same shape to many workers
-        or tasks costs one serialization total.
+        per (structure key, contract key), so shipping the same shape
+        to many workers or tasks costs one serialization total.  Column
+        payloads carry the contract and the column-specialized fused
+        kernel source, so a spawn-rehydrated worker engine is
+        bit-identical to the parent's.
         """
-        key = circuit.structure_key()
+        contract = OutputContract.coerce(contract)
+        key = (circuit.structure_key(), contract.key())
         payload = self._payloads.get(key)
-        engine = self.engine_for(circuit)
+        engine = self.engine_for(circuit, contract)
         if payload is None:
             payload = pickle.dumps(
                 engine.serialize(), protocol=pickle.HIGHEST_PROTOCOL

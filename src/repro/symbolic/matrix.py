@@ -392,6 +392,35 @@ class ExpressionMatrix:
             name=_suffix(self.name, "perm"),
         )
 
+    def select_axes(
+        self,
+        shape: Sequence[int],
+        fixed: Mapping[int, int],
+        out_shape: tuple[int, int],
+    ) -> "ExpressionMatrix":
+        """Fix tensor axes at basis values, symbolically.
+
+        The elements are viewed as a tensor of ``shape``; each axis in
+        ``fixed`` is indexed at its basis digit (dropping the axis) and
+        the surviving elements are reshaped to the 2-D ``out_shape``.
+        This is how the AOT compiler's output-contract specialization
+        slices a first-layer gate at a fixed input column: the resulting
+        expression keeps the full declared parameter list (some may no
+        longer appear — e.g. a control branch sliced away), so WRITE
+        slot arity is preserved and sliced gates stay interchangeable
+        with their full forms in the bytecode.
+        """
+        tensor = self._data.reshape(tuple(shape))
+        indexer = tuple(
+            int(fixed[ax]) if ax in fixed else slice(None)
+            for ax in range(len(shape))
+        )
+        out = tensor[indexer].reshape(out_shape).copy()
+        return ExpressionMatrix(
+            out, params=self.params, radices=None,
+            name=_suffix(self.name, "sel"),
+        )
+
     def partial_trace_expr(
         self, row_pairs: Sequence[tuple[int, int]]
     ) -> "ExpressionMatrix":

@@ -38,6 +38,7 @@ from ..circuit.circuit import QuditCircuit
 from ..instantiation.cost import as_target_array, is_state_target
 from ..instantiation.instantiater import Instantiater
 from ..instantiation.pool import EnginePool
+from ..tensornet.contract import OutputContract
 from ..jit.cache import ExpressionCache
 from ..utils.statevector import state_prep_infidelity
 from ..utils.unitary import hilbert_schmidt_infidelity
@@ -74,13 +75,17 @@ class FitJob:
     ``target`` is a ``(D, D)`` unitary (Eq. 1 fit) or a 1-D amplitude
     vector (state preparation); the engines dispatch on the shape, so
     both target types flow through the same executors, process pool,
-    and shipped-engine payloads."""
+    and shipped-engine payloads.  ``contract`` selects the engine's
+    :class:`~repro.tensornet.OutputContract` (``None`` = full
+    unitary); state-prep passes set ``OutputContract.column(0)`` so
+    the whole fit runs through a column-specialized engine."""
 
     circuit: QuditCircuit
     target: np.ndarray
     starts: int
     seed: int
     x0: np.ndarray | None = None
+    contract: OutputContract | None = None
 
 
 @dataclass
@@ -143,7 +148,7 @@ class SerialCandidateExecutor(CandidateExecutor):
             if job.circuit.num_params == 0:
                 outcomes.append(_constant_outcome(job))
                 continue
-            engine = self.pool.engine_for(job.circuit)
+            engine = self.pool.engine_for(job.circuit, job.contract)
             t0 = time.perf_counter()
             result = engine.instantiate(
                 job.target, starts=job.starts, rng=job.seed, x0=job.x0
@@ -309,8 +314,13 @@ class ProcessCandidateExecutor(CandidateExecutor):
             if job.circuit.num_params == 0:
                 outcomes[i] = _constant_outcome(job)
                 continue
-            payload = self.pool.serialized_bytes(job.circuit)
-            key = (self._settings_key, job.circuit.structure_key())
+            contract = OutputContract.coerce(job.contract)
+            payload = self.pool.serialized_bytes(job.circuit, contract)
+            key = (
+                self._settings_key,
+                job.circuit.structure_key(),
+                contract.key(),
+            )
             ship = key not in self._shipped
             if ship:
                 # Every task of a newly seen shape in this batch

@@ -33,6 +33,7 @@ from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
+from ..tensornet.contract import OutputContract
 from ..utils.statevector import Statevector
 from ..utils.unitary import hilbert_schmidt_infidelity
 from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
@@ -189,6 +190,11 @@ class Resynthesizer:
             target = circuit.get_unitary(params)
         else:
             target = as_target_array(target)
+        # State-prep compression fits through column-contract engines
+        # (the deletions only have to preserve ``U(theta)|0>``).
+        contract = (
+            OutputContract.column(0) if target.ndim == 1 else None
+        )
         rng = np.random.default_rng(rng)
         base_seed = int(rng.integers(2**63))
         hits0, misses0 = self.pool.hits, self.pool.misses
@@ -206,6 +212,7 @@ class Resynthesizer:
                     self.starts,
                     candidate_seed(base_seed, current.structure_key()),
                     x0,
+                    contract=contract,
                 )
             ],
             counters,
@@ -238,6 +245,7 @@ class Resynthesizer:
                                 base_seed, candidate.structure_key()
                             ),
                             cur_params[list(kept)],
+                            contract=contract,
                         )
                     )
                     candidates.append(candidate)

@@ -41,6 +41,7 @@ from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
+from ..tensornet.contract import OutputContract
 from ..utils.statevector import Statevector
 from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
 from .layers import LayerGenerator, QSearchLayerGenerator
@@ -279,11 +280,13 @@ class SynthesisSearch:
 
         ``target`` is a ``(D, D)`` unitary (circuit synthesis) or a
         :class:`~repro.utils.Statevector` / 1-D amplitude vector
-        (state preparation: the candidates' fits drive
-        ``U(theta)|0>`` toward the state, with ``O(D)`` residuals per
-        candidate).  A ``Statevector`` supplies its own radices; both
-        target types share the search's engine pool, since engines are
-        keyed by circuit structure only.
+        (state preparation: every candidate is fitted through a
+        ``COLUMN(0)``-contract engine whose dynamic section propagates
+        the single column ``U(theta)|0>`` — never the full unitary).
+        A ``Statevector`` supplies its own radices; both target types
+        share the search's engine pool, where engines are keyed by
+        (circuit structure, output contract), so column and
+        full-unitary engines for the same shape coexist.
         """
         t0 = time.perf_counter()
         if isinstance(target, Statevector) and radices is None:
@@ -309,6 +312,11 @@ class SynthesisSearch:
                 f"radices {radices} give dimension {dim}, target has "
                 f"dimension {target.shape[0]}"
             )
+        # State-prep rounds run column engines end-to-end; unitary
+        # targets keep the default full contract.
+        contract = (
+            OutputContract.column(0) if target.ndim == 1 else None
+        )
         rng = np.random.default_rng(rng)
         # One base seed per pass; every candidate derives its own seed
         # from this and its structure key, so results do not depend on
@@ -342,6 +350,7 @@ class SynthesisSearch:
                     target,
                     self.starts,
                     candidate_seed(base_seed, root_circuit.structure_key()),
+                    contract=contract,
                 )
             ],
             counters,
@@ -402,6 +411,7 @@ class SynthesisSearch:
                             self.starts,
                             candidate_seed(base_seed, key),
                             x0,
+                            contract=contract,
                         )
                     )
                     meta.append((child, node))

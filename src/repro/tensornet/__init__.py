@@ -2,6 +2,12 @@
 
 from .bytecode import OPCODES, BufferSpec, Instruction, Program
 from .compiler import compile_network, plan_contraction
+from .contract import (
+    FULL_UNITARY,
+    OutputContract,
+    column_digits,
+    specialize_network,
+)
 from .network import ParamSlot, TensorNetwork, TNTensor
 from .path import (
     OPTIMAL_CUTOFF,
@@ -18,6 +24,10 @@ __all__ = [
     "ParamSlot",
     "compile_network",
     "plan_contraction",
+    "OutputContract",
+    "FULL_UNITARY",
+    "column_digits",
+    "specialize_network",
     "Program",
     "Instruction",
     "BufferSpec",

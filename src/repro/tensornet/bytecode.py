@@ -97,6 +97,10 @@ class Program:
     dynamic_section: list[Instruction] = field(default_factory=list)
     output_buffer: int = -1
     output_shape: tuple[int, int] = (1, 1)
+    #: the output contract's bytecode identity — ``("full",)`` or
+    #: ``("column", j)`` (see :mod:`repro.tensornet.contract`); VMs
+    #: shape their output views and backends from this
+    contract: tuple = ("full",)
 
     @property
     def dim(self) -> int:
@@ -166,7 +170,8 @@ class Program:
             lines.append("  " + instr.render())
         lines.append(
             f"; output: b{self.output_buffer} "
-            f"{self.output_shape[0]}x{self.output_shape[1]}"
+            f"{self.output_shape[0]}x{self.output_shape[1]} "
+            f"contract={self.contract!r}"
         )
         return "\n".join(lines)
 

@@ -21,6 +21,7 @@ from ..jit.cache import canonical_key
 from ..symbolic import expr as E
 from ..symbolic.matrix import ExpressionMatrix
 from .bytecode import BufferSpec, Instruction, Program
+from .contract import OutputContract, specialize_network
 from .network import TensorNetwork
 from .path import find_contraction_path
 from .tree import ContractionTree, TreeNode, build_contraction_tree
@@ -47,8 +48,15 @@ def compile_network(
     fusion: bool = True,
     hoist_constants: bool = True,
     path_strategy: str = "auto",
+    contract: OutputContract | None = None,
 ) -> Program:
     """Compile a tensor network into TNVM bytecode.
+
+    ``contract`` selects the output contract (default: full unitary).
+    Column-based contracts specialize the network first — open input
+    legs are fixed at the column's basis digits — so the emitted
+    bytecode propagates ``(D,)`` vectors through the dynamic section
+    and ``program.output_shape`` is ``(D, 1)``.
 
     The keyword flags exist for the ablation benchmarks:
 
@@ -64,8 +72,12 @@ def compile_network(
     """
     if not network.tensors:
         raise ValueError("cannot compile an empty tensor network")
+    contract = OutputContract.coerce(contract)
+    network = specialize_network(network, contract)
     tree = plan_contraction(network, path_strategy)
-    return _CodeGen(tree, fusion=fusion, hoist=hoist_constants).generate()
+    program = _CodeGen(tree, fusion=fusion, hoist=hoist_constants).generate()
+    program.contract = contract.program_key()
+    return program
 
 
 class _CodeGen:
@@ -92,10 +104,15 @@ class _CodeGen:
     def generate(self) -> Program:
         root = self.tree.root
         target = self.network.open_out + self.network.open_in
-        dim = self.network.dim
+        # Contract-specialized networks have no open inputs: the
+        # output degenerates from (D, D) to a (D, 1) column.
+        dim_out = math.prod(
+            self.dims[i] for i in self.network.open_out
+        )
+        dim_in = math.prod(self.dims[i] for i in self.network.open_in)
         if root.is_leaf:
             # A single-gate circuit: fuse the final permutation too.
-            self._fuse_root_leaf(root, target)
+            self._fuse_root_leaf(root, target, (dim_out, dim_in))
         self._fuse_or_mark_transposes(root)
         self._emit_node(root)
 
@@ -104,7 +121,9 @@ class _CodeGen:
         if root.indices != target:
             perm = tuple(root.indices.index(i) for i in target)
             out_buf = self._new_buffer(
-                dim * dim, root.params, constant=self._is_const(root.params)
+                dim_out * dim_in,
+                root.params,
+                constant=self._is_const(root.params),
             )
             self._append(
                 root.params,
@@ -119,7 +138,7 @@ class _CodeGen:
             )
             root_buf = out_buf
         self.program.output_buffer = root_buf
-        self.program.output_shape = (dim, dim)
+        self.program.output_shape = (dim_out, dim_in)
         self.program.validate()
         return self.program
 
@@ -165,9 +184,13 @@ class _CodeGen:
             child.indices = target
 
     # Root-level leaf fusion (root is a single gate covering the circuit).
-    def _fuse_root_leaf(self, node: TreeNode, target: tuple[int, ...]) -> None:
-        dim = self.network.dim
-        self._prepare_child(node, target, (dim, dim))
+    def _fuse_root_leaf(
+        self,
+        node: TreeNode,
+        target: tuple[int, ...],
+        matrix_shape: tuple[int, int],
+    ) -> None:
+        self._prepare_child(node, target, matrix_shape)
 
     # ------------------------------------------------------------------
     # Emission

@@ -1,8 +1,10 @@
 """The Tensor Network Virtual Machine runtime."""
 
+from ..tensornet.contract import FULL_UNITARY, OutputContract
 from .buffers import BatchedMemoryPlan, MemoryPlan
 from .fused import (
     BACKENDS,
+    FUSED_COLUMN_DIM_MAX,
     FUSED_DIM_MAX,
     FusedKernel,
     bind_fused_kernel,
@@ -15,10 +17,13 @@ __all__ = [
     "TNVM",
     "BatchedTNVM",
     "Differentiation",
+    "OutputContract",
+    "FULL_UNITARY",
     "MemoryPlan",
     "BatchedMemoryPlan",
     "BACKENDS",
     "FUSED_DIM_MAX",
+    "FUSED_COLUMN_DIM_MAX",
     "FusedKernel",
     "resolve_backend",
     "generate_fused_kernel",

@@ -47,6 +47,7 @@ from .buffers import BatchedMemoryPlan, MemoryPlan
 __all__ = [
     "BACKENDS",
     "FUSED_DIM_MAX",
+    "FUSED_COLUMN_DIM_MAX",
     "FusedKernel",
     "resolve_backend",
     "generate_fused_kernel",
@@ -66,19 +67,32 @@ BACKENDS = ("closures", "fused", "auto")
 #: templates every synthesis pass instantiates by the thousands.
 FUSED_DIM_MAX = 8
 
+#: ``backend="auto"``'s fusion ceiling for *column-contract* programs.
+#: A column program's contractions are matrix-vector — ``O(D)`` per
+#: gate instead of ``O(D^2)`` — so per-instruction dispatch stays the
+#: dominant cost far past :data:`FUSED_DIM_MAX`: a D=64 matvec moves
+#: the same data as a D=8 matmul.
+FUSED_COLUMN_DIM_MAX = 64
+
 _P = "    "  # prologue indent (inside make_fused)
 _H = "        "  # hot-body indent (inside fused_run)
 
 
-def resolve_backend(backend: str, dim: int, batched: bool = False) -> str:
+def resolve_backend(
+    backend: str, dim: int, batched: bool = False, column: bool = False
+) -> str:
     """Collapse ``"auto"`` to a concrete backend.
 
-    Scalar VMs fuse at or below :data:`FUSED_DIM_MAX`; batched VMs
-    stay on the closure backend under ``"auto"`` — its grouped WRITE
-    writers already evaluate every same-expression gate as one
-    ``G*S``-stacked ufunc call, which inlined per-gate vector stores
-    measurably undo (~0.7x on gate-heavy templates).  An explicit
-    ``backend="fused"`` still forces the megakernel on either VM.
+    Scalar VMs fuse at or below :data:`FUSED_DIM_MAX` — or
+    :data:`FUSED_COLUMN_DIM_MAX` when ``column`` marks the program as
+    column-contract (the auto selection is contract-aware: vector
+    propagation stays dispatch-bound at much larger dimensions).
+    Batched VMs stay on the closure backend under ``"auto"`` — its
+    grouped WRITE writers already evaluate every same-expression gate
+    as one ``G*S``-stacked ufunc call, which inlined per-gate vector
+    stores measurably undo (~0.7x on gate-heavy templates).  An
+    explicit ``backend="fused"`` still forces the megakernel on either
+    VM.
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -87,7 +101,8 @@ def resolve_backend(backend: str, dim: int, batched: bool = False) -> str:
     if backend == "auto":
         if batched:
             return "closures"
-        return "fused" if dim <= FUSED_DIM_MAX else "closures"
+        limit = FUSED_COLUMN_DIM_MAX if column else FUSED_DIM_MAX
+        return "fused" if dim <= limit else "closures"
     return backend
 
 

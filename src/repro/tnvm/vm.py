@@ -23,11 +23,30 @@ import numpy as np
 
 from ..jit.cache import ExpressionCache, global_cache
 from ..tensornet.bytecode import Program
+from ..tensornet.contract import OutputContract
 from .ad import build_batched_closure, build_batched_write_group, build_closure
 from .buffers import BatchedMemoryPlan, MemoryPlan
 from .fused import bind_fused_kernel, fused_kernel_for, resolve_backend
 
 __all__ = ["Differentiation", "TNVM", "BatchedTNVM"]
+
+
+def _resolve_contract(program: Program, contract) -> OutputContract:
+    """The contract this VM runs under, checked against the program."""
+    return OutputContract.for_program(program, contract)
+
+
+def _bind_bra(contract: OutputContract, dim: int, dtype) -> np.ndarray | None:
+    """The overlap contract's fixed bra as a ``(dim,)`` device array."""
+    if contract.kind != "overlap":
+        return None
+    bra = np.asarray(contract.bra, dtype=dtype)
+    if bra.shape != (dim,):
+        raise ValueError(
+            f"overlap bra has {bra.shape[0]} amplitudes, "
+            f"program dimension is {dim}"
+        )
+    return bra
 
 
 class Differentiation(enum.Enum):
@@ -65,7 +84,23 @@ class TNVM:
         ``"closures"`` (the per-instruction interpreter loop),
         ``"fused"`` (one megakernel for the whole dynamic section; see
         :mod:`repro.tnvm.fused`), or ``"auto"`` (fused at or below
-        ``FUSED_DIM_MAX``).  Both backends are bit-identical.
+        ``FUSED_DIM_MAX``, or ``FUSED_COLUMN_DIM_MAX`` for
+        column-contract programs).  Both backends are bit-identical.
+    contract:
+        The :class:`~repro.tensornet.contract.OutputContract` to run
+        under.  Defaults to the program's compiled contract; an
+        explicit value must match the program's bytecode identity
+        (``OVERLAP(bra, j)`` rides a ``COLUMN(j)`` program).
+
+    Output shapes per contract (the one evaluate surface):
+
+    ==============  =====================  ============================
+    contract        ``evaluate``           ``evaluate_with_grad``
+    ==============  =====================  ============================
+    FULL_UNITARY    ``(D, D)``             ``(D, D)``, ``(P, D, D)``
+    COLUMN(j)       ``(D,)``               ``(D,)``, ``(P, D)``
+    OVERLAP(bra)    complex scalar         scalar, ``(P,)``
+    ==============  =====================  ============================
     """
 
     def __init__(
@@ -75,6 +110,7 @@ class TNVM:
         diff: Differentiation = Differentiation.GRADIENT,
         cache: ExpressionCache | None = None,
         backend: str = "closures",
+        contract: OutputContract | None = None,
     ):
         if diff is Differentiation.HESSIAN:
             raise NotImplementedError(
@@ -87,6 +123,7 @@ class TNVM:
                 f"precision must be 'f32' or 'f64', got {precision!r}"
             ) from None
         self.program = program
+        self.contract = _resolve_contract(program, contract)
         self.precision = "f32" if dtype == np.complex64 else "f64"
         self.diff = diff
         self.num_params = program.num_params
@@ -111,7 +148,11 @@ class TNVM:
                 instr, program, self.plan, self.compiled, grad=False
             )
             closure(())
-        self.backend = resolve_backend(backend, program.output_shape[0])
+        self.backend = resolve_backend(
+            backend,
+            program.output_shape[0],
+            column=self.contract.column_based,
+        )
         if self.backend == "fused":
             # The whole dynamic section as ONE generated function (see
             # repro.tnvm.fused); the sweep below degenerates to a
@@ -130,20 +171,26 @@ class TNVM:
             ]
 
         dim = program.output_shape[0]
+        # Contract-shaped output: column programs propagate a (D,)
+        # vector through the dynamic section; full programs a (D, D)
+        # matrix.  Overlap additionally reduces against a fixed bra.
+        out_shape = (dim,) if self.contract.column_based else (dim, dim)
+        self._bra = _bind_bra(self.contract, dim, dtype)
+        self._bra_conj = None if self._bra is None else self._bra.conj()
         self._out_view = self.plan.value_view(
-            program.output_buffer, (dim, dim)
+            program.output_buffer, out_shape
         )
         out_spec = program.buffers[program.output_buffer]
         #: fancy-index form: one vectorized scatter per sweep instead
         #: of a Python copy loop over gradient rows
         self._out_rows_idx = np.asarray(out_spec.params, dtype=np.intp)
         self._out_grad_view = (
-            self.plan.grad_view(program.output_buffer, (dim, dim))
+            self.plan.grad_view(program.output_buffer, out_shape)
             if want_grad and out_spec.params
             else None
         )
         self._full_grad = (
-            np.zeros((self.num_params, dim, dim), dtype=dtype)
+            np.zeros((self.num_params,) + out_shape, dtype=dtype)
             if want_grad
             else None
         )
@@ -151,25 +198,29 @@ class TNVM:
     # ------------------------------------------------------------------
     # Hot path
     # ------------------------------------------------------------------
-    def evaluate(self, params: Sequence[float] = ()) -> np.ndarray:
-        """Compute the circuit unitary.
+    def evaluate(self, params: Sequence[float] = ()):
+        """Compute the program output under the VM's contract.
 
-        Returns a *view* into the VM's arena: valid until the next
-        ``evaluate`` call; copy it if you need to retain it.
+        Full-unitary contracts return the ``(D, D)`` unitary, column
+        contracts the ``(D,)`` column vector — both as *views* into
+        the VM's arena, valid until the next ``evaluate`` call (copy to
+        retain).  Overlap contracts return the complex scalar
+        ``<bra|U e_j>``.
         """
         self._check(params)
         for run in self._dynamic:
             run(params)
+        if self._bra is not None:
+            return complex(np.vdot(self._bra, self._out_view))
         return self._out_view
 
-    def evaluate_with_grad(
-        self, params: Sequence[float] = ()
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Compute the unitary and its gradient.
+    def evaluate_with_grad(self, params: Sequence[float] = ()):
+        """Compute the contract output and its gradient.
 
-        The gradient has shape ``(num_params, dim, dim)`` with zero
-        slices for parameters the output does not depend on.  Both
-        returned arrays are views/buffers reused across calls.
+        Shapes per contract: full ``((D, D), (P, D, D))``, column
+        ``((D,), (P, D))``, overlap ``(scalar, (P,))`` — with zero
+        gradient rows for parameters the output does not depend on.
+        Array returns are views/buffers reused across calls.
         """
         if self.diff is not Differentiation.GRADIENT:
             raise RuntimeError(
@@ -180,6 +231,9 @@ class TNVM:
             run(params)
         if self._out_grad_view is not None:
             self._full_grad[self._out_rows_idx] = self._out_grad_view
+        if self._bra is not None:
+            overlap = complex(np.vdot(self._bra, self._out_view))
+            return overlap, self._full_grad @ self._bra_conj
         return self._out_view, self._full_grad
 
     def _check(self, params: Sequence[float]) -> None:
@@ -205,6 +259,7 @@ class TNVM:
         return (
             f"<TNVM {self.precision} diff={self.diff.name} "
             f"backend={self.backend} "
+            f"contract={self.contract.describe()} "
             f"params={self.num_params} dim={self.dim} "
             f"mem={self.memory_bytes}B>"
         )
@@ -222,7 +277,16 @@ class BatchedTNVM:
     through one shared arena.
 
     Parameters match :class:`TNVM` plus ``batch``, the fixed number of
-    parameter sets per evaluation.
+    parameter sets per evaluation.  Output shapes per contract carry a
+    leading batch axis:
+
+    ==============  =====================  ============================
+    contract        ``evaluate``           ``evaluate_with_grad``
+    ==============  =====================  ============================
+    FULL_UNITARY    ``(B, D, D)``          ``(B, D, D)``, ``(B, P, D, D)``
+    COLUMN(j)       ``(B, D)``             ``(B, D)``, ``(B, P, D)``
+    OVERLAP(bra)    ``(B,)``               ``(B,)``, ``(B, P)``
+    ==============  =====================  ============================
     """
 
     def __init__(
@@ -233,6 +297,7 @@ class BatchedTNVM:
         diff: Differentiation = Differentiation.GRADIENT,
         cache: ExpressionCache | None = None,
         backend: str = "closures",
+        contract: OutputContract | None = None,
     ):
         if diff is Differentiation.HESSIAN:
             raise NotImplementedError(
@@ -245,6 +310,7 @@ class BatchedTNVM:
                 f"precision must be 'f32' or 'f64', got {precision!r}"
             ) from None
         self.program = program
+        self.contract = _resolve_contract(program, contract)
         self.batch = int(batch)
         self.precision = "f32" if dtype == np.complex64 else "f64"
         self.diff = diff
@@ -267,7 +333,10 @@ class BatchedTNVM:
             closure(())
 
         self.backend = resolve_backend(
-            backend, program.output_shape[0], batched=True
+            backend,
+            program.output_shape[0],
+            batched=True,
+            column=self.contract.column_based,
         )
         if self.backend == "fused":
             # One megakernel for the whole batched dynamic section
@@ -282,18 +351,23 @@ class BatchedTNVM:
             self._build_closure_dynamic(program, want_grad)
 
         dim = program.output_shape[0]
+        out_shape = (dim,) if self.contract.column_based else (dim, dim)
+        self._bra = _bind_bra(self.contract, dim, dtype)
+        self._bra_conj = None if self._bra is None else self._bra.conj()
         self._out_view = self.plan.value_view(
-            program.output_buffer, (dim, dim)
+            program.output_buffer, out_shape
         )
         out_spec = program.buffers[program.output_buffer]
         self._out_rows_idx = np.asarray(out_spec.params, dtype=np.intp)
         self._out_grad_view = (
-            self.plan.grad_view(program.output_buffer, (dim, dim))
+            self.plan.grad_view(program.output_buffer, out_shape)
             if want_grad and out_spec.params
             else None
         )
         self._full_grad = (
-            np.zeros((self.batch, self.num_params, dim, dim), dtype=dtype)
+            np.zeros(
+                (self.batch, self.num_params) + out_shape, dtype=dtype
+            )
             if want_grad
             else None
         )
@@ -336,26 +410,30 @@ class BatchedTNVM:
     # Hot path
     # ------------------------------------------------------------------
     def evaluate(self, params: np.ndarray) -> np.ndarray:
-        """Compute the circuit unitary for every batch element.
+        """Compute every batch element's contract output.
 
-        ``params`` has shape ``(batch, num_params)``.  Returns a
-        ``(batch, dim, dim)`` *view* into the VM's arena: valid until
-        the next ``evaluate`` call; copy it to retain it.
+        ``params`` has shape ``(batch, num_params)``.  Full contracts
+        return a ``(batch, dim, dim)`` view, column contracts a
+        ``(batch, dim)`` view — valid until the next ``evaluate``
+        call; copy to retain.  Overlap contracts return a fresh
+        ``(batch,)`` array of scalars.
         """
         rows = self._check(params)
         for run in self._dynamic:
             run(rows)
+        if self._bra is not None:
+            return self._out_view @ self._bra_conj
         return self._out_view
 
     def evaluate_with_grad(
         self, params: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Compute every batch element's unitary and gradient.
+        """Compute every batch element's contract output and gradient.
 
-        Returns ``(unitary, gradient)`` with shapes ``(batch, dim,
-        dim)`` and ``(batch, num_params, dim, dim)``; gradient rows for
-        parameters the output does not depend on are zero.  Both arrays
-        are reused across calls.
+        Shapes per contract: full ``((B, D, D), (B, P, D, D))``,
+        column ``((B, D), (B, P, D))``, overlap ``((B,), (B, P))``;
+        gradient rows for parameters the output does not depend on are
+        zero.  Array returns are reused across calls.
         """
         if self.diff is not Differentiation.GRADIENT:
             raise RuntimeError(
@@ -366,6 +444,11 @@ class BatchedTNVM:
             run(rows)
         if self._out_grad_view is not None:
             self._full_grad[:, self._out_rows_idx] = self._out_grad_view
+        if self._bra is not None:
+            return (
+                self._out_view @ self._bra_conj,
+                self._full_grad @ self._bra_conj,
+            )
         return self._out_view, self._full_grad
 
     def _check(self, params: np.ndarray) -> np.ndarray:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.circuit import QuditCircuit, build_qsearch_ansatz, gates
 from repro.instantiation import EnginePool
+from repro.tensornet import FULL_UNITARY
 
 
 def make_target(circ, seed):
@@ -78,7 +79,7 @@ class TestLRU:
         b = build_qsearch_ansatz(2, 2, 2)
         pool.engine_for(a)
         pool.engine_for(b)  # evicts a, snapshotting it on the way out
-        assert a.structure_key() in pool._payloads
+        assert (a.structure_key(), FULL_UNITARY.key()) in pool._payloads
         revived = pool.engine_for(a)
         assert revived.circuit is None  # rehydrated, not recompiled
         target = make_target(a, seed=11)
@@ -95,7 +96,10 @@ class TestLRU:
         payload = pool.serialized_bytes(a)
         pool.engine_for(build_qsearch_ansatz(2, 2, 2))  # evicts a
         # The already-serialized payload is kept, not re-pickled.
-        assert pool._payloads[a.structure_key()] is payload
+        assert (
+            pool._payloads[(a.structure_key(), FULL_UNITARY.key())]
+            is payload
+        )
 
     def test_hit_refreshes_recency(self):
         pool = EnginePool(capacity=2)

@@ -22,6 +22,7 @@ from repro.instantiation import (
     state_infidelity_from_cost,
     state_success_cost,
 )
+from repro.tensornet import OutputContract
 from repro.tnvm import TNVM, BatchedTNVM, Differentiation
 from repro.utils import Statevector, state_prep_infidelity
 
@@ -245,3 +246,102 @@ def _child_state_instantiate(payload_bytes, amplitudes):
     engine = ChildInstantiater.from_serialized(pickle.loads(payload_bytes))
     result = engine.instantiate(amplitudes, starts=4, rng=9)
     return result.params, result.infidelity
+
+
+class TestColumnContractEngines:
+    """State prep through COLUMN(0)-contract engines (the fast path)."""
+
+    @pytest.fixture(scope="class")
+    def problem3(self):
+        return build_qsearch_ansatz(3, 2, 2), Statevector.ghz(3)
+
+    def test_column_residuals_consume_vector_directly(self, problem3):
+        circ, ghz = problem3
+        col = circ.compile(contract=OutputContract.column(0))
+        vm_full = TNVM(circ.compile(), diff=Differentiation.GRADIENT)
+        vm_col = TNVM(col, diff=Differentiation.GRADIENT)
+        rf = StateResiduals(vm_full, ghz)
+        rc = StateResiduals(vm_col, ghz)
+        p = np.random.default_rng(2).uniform(
+            -np.pi, np.pi, circ.num_params
+        )
+        np.testing.assert_allclose(rc.cost(p), rf.cost(p), atol=1e-12)
+        r1, j1 = rf.residuals_and_jacobian(p)
+        r2, j2 = rc.residuals_and_jacobian(p)
+        np.testing.assert_allclose(r2, r1, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(j2, j1, atol=1e-12, rtol=0)
+        bvf = BatchedTNVM(
+            circ.compile(), batch=3, diff=Differentiation.GRADIENT
+        )
+        bvc = BatchedTNVM(col, batch=3, diff=Differentiation.GRADIENT)
+        ps = np.random.default_rng(4).uniform(
+            -np.pi, np.pi, (3, circ.num_params)
+        )
+        br1, bj1 = BatchedStateResiduals(bvf, ghz).residuals_and_jacobian(ps)
+        br2, bj2 = BatchedStateResiduals(bvc, ghz).residuals_and_jacobian(ps)
+        np.testing.assert_allclose(br2, br1, atol=1e-12, rtol=0)
+        np.testing.assert_allclose(bj2, bj1, atol=1e-12, rtol=0)
+
+    def test_residuals_reject_unusable_contracts(self, problem3):
+        circ, ghz = problem3
+        col1 = circ.compile(contract=OutputContract.column(1))
+        vm = TNVM(col1, diff=Differentiation.GRADIENT)
+        with pytest.raises(ValueError, match="column"):
+            StateResiduals(vm, ghz)
+        col0 = circ.compile(contract=OutputContract.column(0))
+        ovl = TNVM(
+            col0,
+            diff=Differentiation.GRADIENT,
+            contract=OutputContract.overlap(ghz),
+        )
+        with pytest.raises(ValueError, match="OVERLAP"):
+            StateResiduals(ovl, ghz)
+
+    def test_ghz3_column_engine_matches_full_engine(self, problem3):
+        # The acceptance scenario: GHZ-3 state prep through a column
+        # engine lands on the same optimum as the full-unitary path.
+        circ, ghz = problem3
+        full = Instantiater(circ)
+        coleng = Instantiater(circ, contract=OutputContract.column(0))
+        rf = full.instantiate(ghz, starts=4, rng=7)
+        rc = coleng.instantiate(ghz, starts=4, rng=7)
+        assert rf.success and rc.success
+        assert rc.starts_used == rf.starts_used
+        np.testing.assert_allclose(rc.params, rf.params, atol=1e-6)
+        prepared = circ.get_unitary(rc.params)
+        assert state_prep_infidelity(ghz, prepared) < 1e-8
+
+    def test_column_engine_rejects_unitary_targets(self, problem3):
+        circ, _ = problem3
+        engine = Instantiater(circ, contract=OutputContract.column(0))
+        unitary = np.eye(8, dtype=complex)
+        with pytest.raises(ValueError, match="state-preparation"):
+            engine.instantiate(unitary)
+        with pytest.raises(ValueError, match="state-preparation"):
+            engine.instantiate(unitary, starts=4, strategy="batched")
+
+    def test_column_engine_batched_matches_sequential(self, problem3):
+        circ, ghz = problem3
+        engine = Instantiater(circ, contract=OutputContract.column(0))
+        seq = engine.instantiate(ghz, starts=5, rng=21)
+        bat = engine.instantiate(ghz, starts=5, rng=21, strategy="batched")
+        assert bat.starts_used == seq.starts_used
+        np.testing.assert_allclose(bat.params, seq.params, atol=1e-8)
+
+    def test_spawn_rehydrated_column_engine_is_bitwise(self, problem3):
+        # A column engine shipped to a spawn worker (fresh interpreter,
+        # megakernel rebuilt from the payload's generated source) must
+        # reproduce the parent bit for bit.
+        circ, ghz = problem3
+        contract = OutputContract.column(0)
+        parent = Instantiater(circ, contract=contract)
+        payload_bytes = pickle.dumps(parent.serialize())
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            child = pool.apply(
+                _child_state_instantiate, (payload_bytes, ghz.amplitudes)
+            )
+        result = parent.instantiate(ghz, starts=4, rng=9)
+        child_params, child_infidelity = child
+        assert np.array_equal(result.params, child_params)
+        assert result.infidelity == child_infidelity

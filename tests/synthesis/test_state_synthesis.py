@@ -83,16 +83,28 @@ class TestStateSearch:
         assert result_snapshot(serial) == result_snapshot(spawned)
         assert spawned.workers == 2
 
-    def test_state_and_unitary_targets_share_the_pool(self):
+    def test_state_and_unitary_engines_coexist_in_the_pool(self):
+        # Engines are keyed by (structure, contract): a state pass
+        # warms COLUMN(0) engines, a unitary pass over the same shapes
+        # compiles its own FULL engines — and neither evicts or
+        # shadows the other, so a repeat of either pass is all hits.
         pool = EnginePool()
         search = SynthesisSearch(pool=pool)
         r1 = search.synthesize(Statevector.ghz(2), rng=0)
         misses_after_state = pool.misses
+        search.synthesize(Statevector.ghz(2), rng=0)
+        # Same state pass again: every column engine is already pooled.
+        assert pool.misses == misses_after_state
         target = r1.circuit.get_unitary(r1.params)
         search.synthesize(target, rng=1)
-        # The unitary pass explores the same template shapes: every
-        # engine comes from the pool warmed by the state pass.
-        assert pool.misses == misses_after_state
+        misses_after_unitary = pool.misses
+        # The unitary pass needed its own full-unitary engines...
+        assert misses_after_unitary > misses_after_state
+        # ...but did not displace the column engines: re-running both
+        # passes adds no further misses.
+        search.synthesize(Statevector.ghz(2), rng=0)
+        search.synthesize(target, rng=1)
+        assert pool.misses == misses_after_unitary
 
 
 class TestStateResynthesis:
