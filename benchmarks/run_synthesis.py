@@ -41,6 +41,7 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.circuit import build_qft_circuit, build_qsearch_ansatz
 from repro.instantiation import Instantiater
 from repro.synthesis import Resynthesizer, SynthesisSearch
@@ -760,6 +761,15 @@ def main() -> None:
         help="write the report (e.g. BENCH_synthesis.json or "
         "BENCH_parallel_synthesis.json)",
     )
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="PATH",
+        help="enable the telemetry tracer for the whole run and write "
+        "a Chrome-trace JSON (e.g. TRACE_synthesis.json; open in "
+        "Perfetto / chrome://tracing); with --json the flat metrics "
+        "snapshot is merged into the report as 'telemetry_metrics'",
+    )
     args = parser.parse_args()
 
     exclusive = [
@@ -769,6 +779,10 @@ def main() -> None:
         parser.error(
             "--compare-workers, --backends, and --state-prep are exclusive"
         )
+    if args.trace:
+        telemetry.enable()
+        metrics_before = telemetry.metrics().snapshot()
+
     if args.state_prep:
         state_prep_suite(args)
     elif args.compare_workers:
@@ -785,6 +799,22 @@ def main() -> None:
         compare_backends_suite(args, backends)
     else:
         default_suite(args)
+
+    if args.trace:
+        telemetry.write_chrome_trace(args.trace)
+        spans = telemetry.disable()
+        print(f"wrote {args.trace} ({len(spans)} spans)")
+        if args.json and os.path.exists(args.json):
+            metrics = telemetry.delta(
+                metrics_before, telemetry.metrics().snapshot()
+            )
+            with open(args.json) as fh:
+                report = json.load(fh)
+            report["telemetry_metrics"] = metrics
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=2)
+            print(f"merged {len(metrics)} telemetry metrics "
+                  f"into {args.json}")
 
 
 if __name__ == "__main__":

@@ -28,9 +28,20 @@ Subpackages: ``qgl`` (the DSL front end), ``symbolic`` (IR +
 differentiation), ``egraph`` (equality saturation), ``jit`` (expression
 compilation + cache), ``tensornet`` (AOT compiler), ``tnvm`` (runtime),
 ``circuit`` (gate library + builders), ``instantiation`` (LM engine),
-``baseline`` (the traditional comparator framework), ``utils``.
+``synthesis`` (search/compression passes), ``telemetry`` (spans +
+metrics), ``baseline`` (the traditional comparator framework),
+``utils``.
 """
 
+import logging as _logging
+
+# Library convention: the ``repro`` logger hierarchy stays silent
+# unless the application configures handlers.  Debug-level span
+# start/stop records land on ``repro.telemetry`` when REPRO_TRACE_LOG
+# is set (see repro.telemetry.tracer).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+from . import telemetry
 from .circuit import (
     FIG5_BENCHMARKS,
     QuditCircuit,
@@ -65,6 +76,7 @@ from .utils import hilbert_schmidt_infidelity, random_unitary
 __version__ = "1.0.0"
 
 __all__ = [
+    "telemetry",
     "UnitaryExpression",
     "QuditCircuit",
     "TNVM",

@@ -25,6 +25,7 @@ import time
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache
 from ..tensornet.contract import OutputContract
@@ -41,6 +42,7 @@ from .instantiater import (
     SUCCESS_THRESHOLD,
     InstantiationResult,
     draw_guess,
+    record_fit,
     scan_winner,
 )
 from .lm import LMOptions, batched_levenberg_marquardt
@@ -185,12 +187,16 @@ class BatchedInstantiater:
             return False
 
         t0 = time.perf_counter()
-        runs = batched_levenberg_marquardt(
-            residuals.residuals_and_jacobian,
-            guesses,
-            options,
-            should_abandon=should_abandon,
-        )
+        with telemetry.tracer().span(
+            "fit", category="instantiate",
+            dim=vm.dim, starts=num_starts, strategy="batched",
+        ):
+            runs = batched_levenberg_marquardt(
+                residuals.residuals_and_jacobian,
+                guesses,
+                options,
+                should_abandon=should_abandon,
+            )
         optimize_seconds = time.perf_counter() - t0
 
         # Winner selection replays the sequential scan, so the winning
@@ -206,7 +212,7 @@ class BatchedInstantiater:
             if to_infidelity is not None
             else infidelity_from_cost(best.cost, vm.dim)
         )
-        return InstantiationResult(
+        result = InstantiationResult(
             params=best.params,
             infidelity=infidelity,
             success=infidelity <= self.success_threshold,
@@ -217,3 +223,5 @@ class BatchedInstantiater:
             optimize_seconds=optimize_seconds,
             runs=runs,
         )
+        record_fit("batched", vm.dim, result)
+        return result

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache
 from ..jit.compiled import CompiledExpression
@@ -60,6 +61,34 @@ STRATEGIES = ("sequential", "batched", "auto")
 #: often succeeds and the batch would mostly compute abandoned work),
 #: above it the vectorized sweep amortization dominates.
 AUTO_BATCH_MIN_STARTS = 4
+
+
+def record_fit(kind: str, dim: int, result: InstantiationResult) -> None:
+    """Fold one finished fit into the telemetry registry.
+
+    Called by both engines at the *leaf* fit path only (the sequential
+    engine's batched delegation is recorded once, by the batched
+    engine), so counters never double-count a fit.
+    """
+    registry = telemetry.metrics()
+    registry.counter("instantiate.fits").add()
+    registry.counter(f"instantiate.fits.{kind}").add()
+    registry.counter("instantiate.lm_iterations").add(
+        result.total_iterations
+    )
+    registry.counter("instantiate.evaluations").add(
+        result.total_evaluations
+    )
+    registry.histogram("instantiate.starts_used").observe(result.starts_used)
+    registry.histogram("instantiate.lm_iterations_per_fit").observe(
+        result.total_iterations
+    )
+    registry.histogram(f"instantiate.eval_wall.dim{dim}").observe(
+        result.optimize_seconds
+    )
+    registry.counter("instantiate.optimize_seconds").add(
+        result.optimize_seconds
+    )
 
 
 def draw_guess(
@@ -458,16 +487,22 @@ class Instantiater:
                 runs.append(run)
                 yield run
 
-        best, used = scan_winner(
-            run_starts(), self.vm.dim, self.success_threshold, to_infidelity
-        )
+        with telemetry.tracer().span(
+            "fit", category="instantiate",
+            dim=self.vm.dim, starts=max(1, starts), strategy="sequential",
+        ) as span:
+            best, used = scan_winner(
+                run_starts(), self.vm.dim, self.success_threshold,
+                to_infidelity,
+            )
+            span.set(starts_used=used)
         optimize_seconds = time.perf_counter() - t0
         infidelity = (
             to_infidelity(best.cost)
             if to_infidelity is not None
             else infidelity_from_cost(best.cost, self.vm.dim)
         )
-        return InstantiationResult(
+        result = InstantiationResult(
             params=best.params,
             infidelity=infidelity,
             success=infidelity <= self.success_threshold,
@@ -478,6 +513,8 @@ class Instantiater:
             optimize_seconds=optimize_seconds,
             runs=runs,
         )
+        record_fit("sequential", self.vm.dim, result)
+        return result
 
 
 def instantiate(

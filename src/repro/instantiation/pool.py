@@ -24,6 +24,7 @@ from __future__ import annotations
 import pickle
 from collections import OrderedDict
 
+from .. import telemetry
 from ..circuit.circuit import QuditCircuit
 from ..jit.cache import ExpressionCache, global_cache
 from ..tensornet.contract import OutputContract
@@ -62,8 +63,13 @@ class EnginePool:
         self.cache = cache
         self.success_threshold = success_threshold
         self.lm_options = lm_options
-        self.hits = 0
-        self.misses = 0
+        # Per-pool counters that also feed the process-global telemetry
+        # aggregates, so SynthesisResult fields stay exact per pool
+        # while BENCH/trace artifacts see the whole-process totals.
+        registry = telemetry.metrics()
+        self._hits = registry.counter("engine_pool.hits").child()
+        self._misses = registry.counter("engine_pool.misses").child()
+        self._rehydrates = registry.counter("engine_pool.rehydrates").child()
         self._engines: OrderedDict[tuple, Instantiater] = OrderedDict()
         # Pickled SerializedEngine per structure key: the program store
         # parallel synthesis ships to worker processes.  Serialization
@@ -78,6 +84,18 @@ class EnginePool:
 
     def __len__(self) -> int:
         return len(self._engines)
+
+    @property
+    def hits(self) -> int:
+        """Engine-reuse count (also mirrored into the global
+        ``engine_pool.hits`` telemetry counter)."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """AOT-compile / rehydrate count (mirrored into
+        ``engine_pool.misses``)."""
+        return self._misses.value
 
     def engine_for(
         self, circuit: QuditCircuit, contract: OutputContract | None = None
@@ -96,9 +114,9 @@ class EnginePool:
         engine = self._engines.get(key)
         if engine is not None:
             self._engines.move_to_end(key)
-            self.hits += 1
+            self._hits.add()
             return engine
-        self.misses += 1
+        self._misses.add()
         payload = self._payloads.get(key)
         if payload is not None:
             self._payloads.move_to_end(key)
@@ -106,20 +124,34 @@ class EnginePool:
             # rehydrating from the snapshot (source exec + TNVM setup)
             # is much cheaper than re-running the AOT compile and is
             # numerically identical.
-            engine = Instantiater.from_serialized(
-                pickle.loads(payload),
-                cache=self.cache if self.cache is not None else global_cache(),
-            )
+            self._rehydrates.add()
+            with telemetry.tracer().span(
+                "engine.rehydrate", category="pool"
+            ):
+                engine = Instantiater.from_serialized(
+                    pickle.loads(payload),
+                    cache=(
+                        self.cache if self.cache is not None
+                        else global_cache()
+                    ),
+                )
         else:
-            engine = Instantiater(
-                circuit,
-                precision=self.precision,
-                cache=self.cache,
-                success_threshold=self.success_threshold,
-                lm_options=self.lm_options,
-                strategy=self.strategy,
-                backend=self.backend,
-                contract=contract,
+            with telemetry.tracer().span(
+                "engine.compile", category="pool",
+                contract=str(contract),
+            ):
+                engine = Instantiater(
+                    circuit,
+                    precision=self.precision,
+                    cache=self.cache,
+                    success_threshold=self.success_threshold,
+                    lm_options=self.lm_options,
+                    strategy=self.strategy,
+                    backend=self.backend,
+                    contract=contract,
+                )
+            telemetry.metrics().histogram("engine_pool.aot_seconds").observe(
+                engine.aot_seconds
             )
         self._engines[key] = engine
         while len(self._engines) > self.capacity:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from ..egraph.runner import RunnerLimits, simplify_all
 from ..symbolic.matrix import ExpressionMatrix
 from .codegen import CodegenResult, compile_source, compile_writer
@@ -72,7 +73,12 @@ class CompiledExpression:
                 roots.append(elem.im)
 
         if simplify:
-            roots = simplify_all(roots, limits=limits)
+            with telemetry.tracer().span(
+                "egraph.simplify", category="compile",
+                expr=matrix.name, roots=len(roots),
+            ):
+                roots = simplify_all(roots, limits=limits)
+            telemetry.metrics().counter("compile.egraph_runs").add()
         self.simplified = simplify
 
         unitary_entries = [

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.circuit import QuditCircuit
 from ..instantiation.cost import as_target_array, is_state_target
 from ..instantiation.instantiater import Instantiater
@@ -201,6 +202,7 @@ def _worker_fit(
     starts: int,
     seed: int,
     x0: np.ndarray | None,
+    trace: bool = False,
 ):
     """Task body: rehydrate (or reuse) the shape's engine and fit.
 
@@ -208,22 +210,54 @@ def _worker_fit(
     steady state); if the worker's LRU misses — a fresh worker, or the
     shape was evicted — it signals :data:`NEEDS_PAYLOAD` instead of
     fitting, and the parent resubmits with the snapshot bytes.
+
+    Telemetry rides the result tuple: the worker always ships the
+    metrics its task produced (a registry delta), and when the parent
+    had tracing on (``trace=True``) it also records spans locally and
+    ships their states so the parent merges one coherent timeline
+    tagged with this worker's pid.  The fit itself never consults
+    either, so results are bit-identical with tracing on or off.
     """
-    engine = _WORKER_ENGINES.get(key)
-    if engine is None:
-        if payload is None:
-            return NEEDS_PAYLOAD
-        engine = Instantiater.from_serialized(
-            pickle.loads(payload), cache=_worker_expression_cache()
+    registry = telemetry.metrics()
+    metrics_before = registry.snapshot()
+    if trace:
+        telemetry.enable()
+    try:
+        with telemetry.tracer().span("worker_task", category="executor"):
+            engine = _WORKER_ENGINES.get(key)
+            if engine is None:
+                if payload is None:
+                    return NEEDS_PAYLOAD
+                with telemetry.tracer().span(
+                    "engine.rehydrate", category="executor"
+                ):
+                    engine = Instantiater.from_serialized(
+                        pickle.loads(payload),
+                        cache=_worker_expression_cache(),
+                    )
+                _WORKER_ENGINES[key] = engine
+                while len(_WORKER_ENGINES) > _WORKER_CAPACITY:
+                    _WORKER_ENGINES.popitem(last=False)
+            else:
+                _WORKER_ENGINES.move_to_end(key)
+            t0 = time.perf_counter()
+            result = engine.instantiate(
+                target, starts=starts, rng=seed, x0=x0
+            )
+            busy = time.perf_counter() - t0
+    finally:
+        # Per-task enable/disable keeps the worker's tracer empty
+        # between tasks (and inert when the parent stops tracing).
+        spans = (
+            [span.state() for span in telemetry.disable()] if trace else []
         )
-        _WORKER_ENGINES[key] = engine
-        while len(_WORKER_ENGINES) > _WORKER_CAPACITY:
-            _WORKER_ENGINES.popitem(last=False)
-    else:
-        _WORKER_ENGINES.move_to_end(key)
-    t0 = time.perf_counter()
-    result = engine.instantiate(target, starts=starts, rng=seed, x0=x0)
-    return result.params, result.infidelity, time.perf_counter() - t0
+    return (
+        result.params,
+        result.infidelity,
+        busy,
+        spans,
+        telemetry.delta(metrics_before, registry.snapshot()),
+    )
 
 
 class ProcessCandidateExecutor(CandidateExecutor):
@@ -340,6 +374,7 @@ class ProcessCandidateExecutor(CandidateExecutor):
                 job.starts,
                 job.seed,
                 job.x0,
+                telemetry.tracing_enabled(),
             )
             submitted.append((i, key, payload, job, future))
         try:
@@ -362,6 +397,7 @@ class ProcessCandidateExecutor(CandidateExecutor):
                             job.starts,
                             job.seed,
                             job.x0,
+                            telemetry.tracing_enabled(),
                         ),
                     ))
                     continue
@@ -382,9 +418,16 @@ class ProcessCandidateExecutor(CandidateExecutor):
             raise
         return outcomes  # type: ignore[return-value]
 
-    @staticmethod
-    def _outcome(result) -> FitOutcome:
-        params, infidelity, busy = result
+    def _outcome(self, result) -> FitOutcome:
+        params, infidelity, busy, span_states, metrics_delta = result
+        if span_states:
+            # Re-base the worker's spans into this process's clock and
+            # add them as a separate track tagged by the worker's pid.
+            telemetry.tracer().ingest(
+                span_states, label=f"worker-{span_states[0]['pid']}"
+            )
+        if metrics_delta:
+            telemetry.metrics().merge(metrics_delta)
         return FitOutcome(
             params=params,
             infidelity=infidelity,

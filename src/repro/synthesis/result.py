@@ -46,6 +46,11 @@ class SynthesisResult:
     windows: list["SynthesisResult"] = field(default_factory=list)
     workers: int = 1
     parallel_efficiency: float | None = None
+    #: The merged telemetry-registry delta this pass produced (flat
+    #: metric name -> number, or histogram-state dict); includes
+    #: metrics shipped back from worker processes.  Empty for results
+    #: built before the pass ran under telemetry.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def gate_counts(self) -> dict[str, int]:
@@ -54,6 +59,75 @@ class SynthesisResult:
     def count(self, gate_name: str) -> int:
         """Occurrences of a gate by name (e.g. ``"CX"``)."""
         return self.gate_counts.get(gate_name, 0)
+
+    def report(self) -> str:
+        """A human-readable multi-line report with a timing breakdown.
+
+        Rendered from the pass's merged metrics: where the wall went
+        (AOT compile, optimizer time, executor busy vs idle), the
+        engine-cache hit ratio, and the fit-level counters — the
+        numbers a synthesis user reads before reaching for the full
+        Perfetto trace.
+        """
+        m = self.metrics
+
+        def num(name: str) -> float:
+            value = m.get(name, 0)
+            if isinstance(value, dict):
+                return float(value.get("sum", 0.0))
+            return float(value)
+
+        lines = [
+            f"synthesis {'succeeded' if self.success else 'FAILED'}: "
+            f"infidelity={self.infidelity:.3e} "
+            f"ops={self.circuit.num_operations} "
+            f"wall={self.wall_seconds:.2f}s",
+            f"  search: {self.nodes_expanded} nodes expanded, "
+            f"{self.instantiation_calls} instantiation calls, "
+            f"{self.workers} worker(s)",
+        ]
+        total_cache = self.engine_cache_hits + self.engine_cache_misses
+        if total_cache:
+            lines.append(
+                f"  engine cache: {self.engine_cache_hits} hits / "
+                f"{self.engine_cache_misses} misses "
+                f"({self.engine_cache_hits / total_cache:.0%} hit ratio)"
+            )
+        compile_s = num("engine_pool.aot_seconds")
+        optimize_s = num("instantiate.optimize_seconds")
+        busy_s = num("synthesis.busy_seconds")
+        eval_wall_s = num("synthesis.eval_wall_seconds")
+        if self.wall_seconds > 0 and (compile_s or optimize_s or eval_wall_s):
+            lines.append("  timing breakdown:")
+            lines.append(
+                f"    compile (AOT):   {compile_s:8.3f}s "
+                f"({compile_s / self.wall_seconds:5.1%} of wall)"
+            )
+            lines.append(
+                f"    optimize (LM):   {optimize_s:8.3f}s "
+                f"({optimize_s / self.wall_seconds:5.1%} of wall)"
+            )
+            if eval_wall_s:
+                budget = self.workers * eval_wall_s
+                idle_s = max(0.0, budget - busy_s)
+                lines.append(
+                    f"    executor busy:   {busy_s:8.3f}s of "
+                    f"{budget:.3f}s budget (idle {idle_s:.3f}s)"
+                )
+        fits = m.get("instantiate.fits", 0)
+        if fits:
+            iters = num("instantiate.lm_iterations")
+            lines.append(
+                f"  fits: {fits} ({int(iters)} LM iterations, "
+                f"{iters / fits:.1f} per fit)"
+            )
+        if self.parallel_efficiency is not None:
+            lines.append(
+                f"  parallel efficiency: {self.parallel_efficiency:.0%}"
+            )
+        if self.windows:
+            lines.append(f"  windows: {len(self.windows)}")
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         status = "success" if self.success else "FAILED"

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.circuit import Operation, QuditCircuit
 from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
@@ -41,6 +42,7 @@ from .result import SynthesisResult
 from .search import (
     SynthesisSearch,
     _parallel_efficiency,
+    _PassCounters,
     _resolve_pool,
     _run_round,
 )
@@ -197,9 +199,15 @@ class Resynthesizer:
         )
         rng = np.random.default_rng(rng)
         base_seed = int(rng.integers(2**63))
+        registry = telemetry.metrics()
+        metrics0 = registry.snapshot()
         hits0, misses0 = self.pool.hits, self.pool.misses
-        counters = {"calls": 0, "examined": 0, "busy": 0.0, "eval_wall": 0.0}
+        counters = _PassCounters()
         executor = self.executor
+        resynth_span = telemetry.tracer().span(
+            "resynthesize", category="synthesize",
+            ops=circuit.num_operations, workers=executor.workers,
+        )
 
         current = circuit.copy()
         x0 = params if len(params) == current.num_params else None
@@ -249,7 +257,7 @@ class Resynthesizer:
                         )
                     )
                     candidates.append(candidate)
-                counters["examined"] += len(wave)
+                counters.expanded.add(len(wave))
                 outcomes = _run_round(executor, jobs, counters)
                 # Accept the first fitting deletion in scan order — the
                 # same winner regardless of how the wave was scheduled.
@@ -259,22 +267,29 @@ class Resynthesizer:
                         cur_params = outcome.params
                         cur_inf = outcome.infidelity
                         improved = True
+                        registry.counter("resynth.deletions_accepted").add()
                         break
                 if improved:
                     break  # rescan the shorter circuit
 
+        registry.counter("resynth.passes").add(passes)
+        resynth_span.set(
+            passes=passes, examined=counters.expanded.value
+        )
+        resynth_span.__exit__(None, None, None)
         return SynthesisResult(
             circuit=current,
             params=cur_params,
             infidelity=cur_inf,
             success=cur_inf <= self.success_threshold,
-            instantiation_calls=counters["calls"],
+            instantiation_calls=counters.calls.value,
             engine_cache_hits=self.pool.hits - hits0,
             engine_cache_misses=self.pool.misses - misses0,
-            nodes_expanded=counters["examined"],
+            nodes_expanded=counters.expanded.value,
             wall_seconds=time.perf_counter() - t0,
             workers=executor.workers,
             parallel_efficiency=_parallel_efficiency(executor, counters),
+            metrics=telemetry.delta(metrics0, registry.snapshot()),
         )
 
 
@@ -370,11 +385,15 @@ class PartitionedSynthesizer:
         all_solved = True
         for index, (wires, ops) in enumerate(self._partition(circuit)):
             sub = self._block_circuit(circuit, wires, ops, params)
-            result = self.search.synthesize(
-                sub.get_unitary(()),
-                radices=sub.radices,
-                rng=candidate_seed(base_seed, ("window", index)),
-            )
+            with telemetry.tracer().span(
+                "window", category="synthesize",
+                index=index, wires=list(wires), ops=len(ops),
+            ):
+                result = self.search.synthesize(
+                    sub.get_unitary(()),
+                    radices=sub.radices,
+                    rng=candidate_seed(base_seed, ("window", index)),
+                )
             windows.append(result)
             if result.success:
                 added = out.append_circuit(result.circuit, location=wires)
@@ -406,6 +425,9 @@ class PartitionedSynthesizer:
             if w.parallel_efficiency is not None
         ]
         total_eff_wall = sum(wall for _, wall in efficiencies)
+        merged_metrics = telemetry.MetricsRegistry()
+        for w in windows:
+            merged_metrics.merge(w.metrics)
         return SynthesisResult(
             circuit=out,
             params=final_params,
@@ -426,4 +448,5 @@ class PartitionedSynthesizer:
                 if total_eff_wall > 0
                 else None
             ),
+            metrics=merged_metrics.snapshot(),
         )

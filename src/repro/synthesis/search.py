@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..circuit.circuit import QuditCircuit
 from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
@@ -94,10 +95,31 @@ def _resolve_pool(
     )
 
 
+class _PassCounters:
+    """Per-pass telemetry counters for one synthesis/resynthesis run.
+
+    Each field is a child of the process-global registry counter of
+    the same name, so a pass reads its own exact values (the
+    deterministic numbers that populate :class:`SynthesisResult`)
+    while BENCH/trace artifacts see whole-process aggregates.
+    ``expanded`` counts frontier expansions for the search and
+    examined deletion candidates for the resynthesizer.
+    """
+
+    __slots__ = ("calls", "expanded", "busy", "eval_wall")
+
+    def __init__(self):
+        registry = telemetry.metrics()
+        self.calls = registry.counter("synthesis.instantiation_calls").child()
+        self.expanded = registry.counter("synthesis.nodes_expanded").child()
+        self.busy = registry.counter("synthesis.busy_seconds").child()
+        self.eval_wall = registry.counter("synthesis.eval_wall_seconds").child()
+
+
 def _run_round(
     executor: CandidateExecutor,
     jobs: list[FitJob],
-    counters: dict,
+    counters: _PassCounters,
 ):
     """Evaluate one round of candidate fits and update the pass
     counters (shared by the search and resynthesis passes).
@@ -106,24 +128,28 @@ def _run_round(
     nothing to optimize and are evaluated directly, without counting);
     ``busy``/``eval_wall`` feed the ``parallel_efficiency`` report.
     """
-    t0 = time.perf_counter()
-    outcomes = executor.run(jobs)
-    counters["eval_wall"] += time.perf_counter() - t0
+    with telemetry.tracer().span(
+        "round", category="synthesize",
+        jobs=len(jobs), workers=executor.workers,
+    ):
+        t0 = time.perf_counter()
+        outcomes = executor.run(jobs)
+        counters.eval_wall.add(time.perf_counter() - t0)
     for outcome in outcomes:
-        counters["busy"] += outcome.busy_seconds
+        counters.busy.add(outcome.busy_seconds)
         if outcome.engine_call:
-            counters["calls"] += 1
+            counters.calls.add()
     return outcomes
 
 
 def _parallel_efficiency(
-    executor: CandidateExecutor, counters: dict
+    executor: CandidateExecutor, counters: _PassCounters
 ) -> float | None:
     """Engine busy time over the ``workers x wall`` evaluation budget."""
-    eval_wall = counters["eval_wall"]
+    eval_wall = counters.eval_wall.value
     if eval_wall <= 0.0:
         return None
-    return counters["busy"] / (executor.workers * eval_wall)
+    return counters.busy.value / (executor.workers * eval_wall)
 
 
 def infer_radices(dim: int) -> tuple[int, ...]:
@@ -322,23 +348,35 @@ class SynthesisSearch:
         # from this and its structure key, so results do not depend on
         # the order candidates are drawn or scheduled in.
         base_seed = int(rng.integers(2**63))
+        registry = telemetry.metrics()
+        metrics0 = registry.snapshot()
+        frontier_depth = registry.histogram("synthesis.frontier_depth")
         hits0, misses0 = self.pool.hits, self.pool.misses
-        counters = {"calls": 0, "expanded": 0, "busy": 0.0, "eval_wall": 0.0}
+        counters = _PassCounters()
         executor = self.executor
+        pass_span = telemetry.tracer().span(
+            "synthesize", category="synthesize",
+            dim=int(target.shape[0]), workers=executor.workers,
+        )
 
         def finish(node: _Node, success: bool) -> SynthesisResult:
+            pass_span.set(
+                success=success, expanded=counters.expanded.value
+            )
+            pass_span.__exit__(None, None, None)
             return SynthesisResult(
                 circuit=node.circuit,
                 params=node.params,
                 infidelity=node.infidelity,
                 success=success,
-                instantiation_calls=counters["calls"],
+                instantiation_calls=counters.calls.value,
                 engine_cache_hits=self.pool.hits - hits0,
                 engine_cache_misses=self.pool.misses - misses0,
-                nodes_expanded=counters["expanded"],
+                nodes_expanded=counters.expanded.value,
                 wall_seconds=time.perf_counter() - t0,
                 workers=executor.workers,
                 parallel_efficiency=_parallel_efficiency(executor, counters),
+                metrics=telemetry.delta(metrics0, registry.snapshot()),
             )
 
         root_circuit = self.layer_generator.initial(radices)
@@ -367,13 +405,14 @@ class SynthesisSearch:
         frontier: list[tuple[float, int, _Node]] = [
             (self._priority(root.infidelity, 0), tick, root)
         ]
-        while frontier and counters["expanded"] < self.max_expansions:
+        while frontier and counters.expanded.value < self.max_expansions:
+            frontier_depth.observe(len(frontier))
             # Assemble one round: up to expansion_width frontier pops
             # (bounded by the remaining expansion budget), skipping
             # nodes already at the depth cap.
             width = min(
                 self.expansion_width,
-                self.max_expansions - counters["expanded"],
+                self.max_expansions - counters.expanded.value,
             )
             parents: list[_Node] = []
             while frontier and len(parents) < width:
@@ -383,7 +422,7 @@ class SynthesisSearch:
                 parents.append(node)
             if not parents:
                 break
-            counters["expanded"] += len(parents)
+            counters.expanded.add(len(parents))
 
             jobs: list[FitJob] = []
             meta: list[tuple[QuditCircuit, _Node]] = []

@@ -1,0 +1,59 @@
+"""Zero-dependency tracing + metrics for the synthesis stack.
+
+Two complementary halves:
+
+* **Metrics** (:mod:`repro.telemetry.metrics`) are always on: named
+  counters, gauges, and histograms in a process-global registry
+  (``telemetry.metrics()``), recorded with plain attribute adds.  The
+  synthesis passes snapshot the registry around each run and attach
+  the delta to ``SynthesisResult.metrics``.
+
+* **Spans** (:mod:`repro.telemetry.tracer`) are opt-in: call
+  ``telemetry.enable()`` before a run and ``telemetry.disable()``
+  after, then ``telemetry.write_chrome_trace(path)`` (before
+  disabling) to get a Perfetto/chrome://tracing-loadable timeline of
+  compile → pathfind → fuse → instantiate → synthesize, including
+  spans recorded inside spawned worker processes.
+
+Telemetry is inert by contract: it never touches RNG state or
+numerics, so synthesis results are bit-identical with tracing on or
+off (enforced by ``tests/telemetry``).
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    delta,
+    metrics,
+)
+from .tracer import (
+    NoopTracer,
+    Span,
+    Tracer,
+    chrome_trace,
+    disable,
+    enable,
+    tracer,
+    tracing_enabled,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "delta",
+    "metrics",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "disable",
+    "enable",
+    "tracer",
+    "tracing_enabled",
+    "write_chrome_trace",
+]

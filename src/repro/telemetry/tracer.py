@@ -1,0 +1,372 @@
+"""Opt-in span tracing with Chrome-trace-event export.
+
+Tracing is off by default and costs one module-global attribute load
+plus a no-op method call per instrumented site (the
+:class:`NoopTracer` singleton).  :func:`enable` swaps in a real
+:class:`Tracer`; :func:`disable` swaps the no-op back and returns the
+finished spans.
+
+Spans nest per thread (a thread-local stack supplies parent ids) and
+record wall time in the ``time.perf_counter`` domain.  For
+cross-process merging each tracer also records ``wall_offset =
+time.time() - time.perf_counter()`` at creation: on Linux
+``perf_counter`` is CLOCK_MONOTONIC, whose epoch differs per boot but
+not per process, yet we do not rely on that — worker spans are
+re-based into the parent's perf domain through the two wall offsets,
+which holds on any platform.
+
+Export is the Chrome trace event format (the ``traceEvents`` array of
+``ph: "X"`` complete events) loadable in Perfetto or chrome://tracing.
+Nesting is implied by timestamp containment per (pid, tid) track, so
+merged worker spans appear as their own process tracks.
+
+Set ``REPRO_TRACE_LOG=1`` (or call ``enable(log_spans=True)``) to also
+emit debug-level span start/stop records on the ``repro.telemetry``
+logger.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "tracer",
+    "tracing_enabled",
+    "enable",
+    "disable",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+logger = logging.getLogger("repro.telemetry")
+
+
+class Span:
+    """One finished (or in-flight) timed region.
+
+    ``start``/``end`` are ``perf_counter`` seconds in the *recording*
+    process; ``wall_offset`` lets another process re-base them.
+    """
+
+    __slots__ = (
+        "name",
+        "category",
+        "start",
+        "end",
+        "args",
+        "span_id",
+        "parent_id",
+        "pid",
+        "tid",
+        "wall_offset",
+    )
+
+    def __init__(self, name, category, start, span_id, parent_id, pid, tid,
+                 wall_offset, args=None):
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = None
+        self.args = args
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.pid = pid
+        self.tid = tid
+        self.wall_offset = wall_offset
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+    def state(self) -> dict:
+        """A picklable dict (what workers ship back to the parent)."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "args": self.args,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self.pid,
+            "tid": self.tid,
+            "wall_offset": self.wall_offset,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Span":
+        span = cls(
+            state["name"], state["category"], state["start"],
+            state["span_id"], state["parent_id"], state["pid"],
+            state["tid"], state["wall_offset"], state.get("args"),
+        )
+        span.end = state["end"]
+        return span
+
+    def __repr__(self) -> str:
+        dur = self.duration
+        dur = f"{dur * 1e3:.3f}ms" if dur is not None else "open"
+        return f"<Span {self.category}:{self.name} {dur}>"
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def set(self, **args) -> None:
+        """Attach/extend key-value args on the span."""
+        if self._span.args is None:
+            self._span.args = {}
+        self._span.args.update(args)
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._finish(self._span)
+
+
+class _NoopHandle:
+    """Shared do-nothing span handle."""
+
+    __slots__ = ()
+    span = None
+
+    def set(self, **args) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_HANDLE = _NoopHandle()
+
+
+class NoopTracer:
+    """Stand-in used while tracing is disabled: every call is a
+    constant-time no-op returning shared singletons."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name, category="repro", **args):
+        return _NOOP_HANDLE
+
+    def instant(self, name, category="repro", **args) -> None:
+        pass
+
+    def drain(self) -> list:
+        return []
+
+    def ingest(self, states, label=None) -> None:
+        pass
+
+
+class Tracer:
+    """Thread-safe recording tracer with per-thread span nesting."""
+
+    enabled = True
+
+    def __init__(self, log_spans: bool | None = None):
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._ids = itertools.count(1)
+        self._stack = threading.local()
+        self._track_names: dict[int, str] = {}
+        self.pid = os.getpid()
+        self.wall_offset = time.time() - time.perf_counter()
+        if log_spans is None:
+            log_spans = os.environ.get("REPRO_TRACE_LOG", "") not in ("", "0")
+        self._log = log_spans
+
+    def _parent_id(self):
+        stack = getattr(self._stack, "ids", None)
+        return stack[-1] if stack else None
+
+    def span(self, name: str, category: str = "repro", **args) -> _SpanHandle:
+        """Open a nested span; use as a context manager."""
+        with self._lock:
+            span_id = next(self._ids)
+        span = Span(
+            name, category, time.perf_counter(), span_id, self._parent_id(),
+            self.pid, threading.get_ident(), self.wall_offset,
+            args or None,
+        )
+        stack = getattr(self._stack, "ids", None)
+        if stack is None:
+            stack = self._stack.ids = []
+        stack.append(span_id)
+        if self._log:
+            logger.debug("span start %s:%s", category, name)
+        return _SpanHandle(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = getattr(self._stack, "ids", None)
+        if stack and stack[-1] == span.span_id:
+            stack.pop()
+        elif stack and span.span_id in stack:
+            stack.remove(span.span_id)
+        with self._lock:
+            self._spans.append(span)
+        if self._log:
+            logger.debug(
+                "span stop %s:%s %.3fms",
+                span.category, span.name, (span.end - span.start) * 1e3,
+            )
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        """Record a zero-duration marker."""
+        with self._lock:
+            span_id = next(self._ids)
+        now = time.perf_counter()
+        span = Span(
+            name, category, now, span_id, self._parent_id(),
+            self.pid, threading.get_ident(), self.wall_offset, args or None,
+        )
+        span.end = now
+        with self._lock:
+            self._spans.append(span)
+
+    def drain(self) -> list[Span]:
+        """Remove and return all finished spans (oldest first)."""
+        with self._lock:
+            spans, self._spans = self._spans, []
+        return spans
+
+    def ingest(self, states: list[dict], label: str | None = None) -> None:
+        """Merge spans shipped from another process.
+
+        ``states`` are :meth:`Span.state` dicts recorded in the other
+        process's ``perf_counter`` domain; their ``wall_offset`` lets
+        us re-base timestamps into ours so all tracks share one clock.
+        ``label`` names the source track (e.g. ``"worker-3"``) in the
+        exported trace.
+        """
+        rebased = []
+        for state in states:
+            span = Span.from_state(state)
+            shift = span.wall_offset - self.wall_offset
+            span.start += shift
+            if span.end is not None:
+                span.end += shift
+            span.wall_offset = self.wall_offset
+            if label is not None:
+                self._track_names.setdefault(span.pid, label)
+            rebased.append(span)
+        with self._lock:
+            self._spans.extend(rebased)
+
+    def spans(self) -> list[Span]:
+        """A copy of the finished spans recorded so far."""
+        with self._lock:
+            return list(self._spans)
+
+    def track_names(self) -> dict[int, str]:
+        return dict(self._track_names)
+
+
+def chrome_trace(spans: list[Span], track_names: dict[int, str] | None = None,
+                 main_pid: int | None = None) -> dict:
+    """Render spans as a Chrome trace event JSON object."""
+    track_names = track_names or {}
+    if main_pid is None:
+        main_pid = os.getpid()
+    events = []
+    pids = set()
+    for span in spans:
+        if span.end is None:
+            continue
+        pids.add(span.pid)
+        event = {
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": (span.end - span.start) * 1e6,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for pid in sorted(pids):
+        name = track_names.get(
+            pid, "main" if pid == main_pid else f"worker-{pid}"
+        )
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": f"repro {name}"},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans: list[Span] | None = None,
+                       track_names: dict[int, str] | None = None) -> dict:
+    """Write the current (or given) spans as a Perfetto-loadable JSON
+    file; returns the trace object."""
+    current = tracer()
+    if spans is None:
+        spans = current.spans() if isinstance(current, Tracer) else []
+    if track_names is None and isinstance(current, Tracer):
+        track_names = current.track_names()
+    main_pid = current.pid if isinstance(current, Tracer) else None
+    trace = chrome_trace(spans, track_names, main_pid=main_pid)
+    with open(path, "w") as f:
+        json.dump(trace, f)
+    return trace
+
+
+#: Module-global swapped by enable()/disable(); instrumented code does
+#: ``telemetry.tracer().span(...)`` and pays a no-op when disabled.
+_NOOP = NoopTracer()
+_tracer: Tracer | NoopTracer = _NOOP
+
+
+def tracer() -> Tracer | NoopTracer:
+    """The active tracer (the no-op singleton when disabled)."""
+    return _tracer
+
+
+def tracing_enabled() -> bool:
+    return _tracer.enabled
+
+
+def enable(log_spans: bool | None = None) -> Tracer:
+    """Turn on span recording; returns the live tracer (the existing
+    one if already enabled)."""
+    global _tracer
+    if not isinstance(_tracer, Tracer):
+        _tracer = Tracer(log_spans=log_spans)
+    return _tracer
+
+
+def disable() -> list[Span]:
+    """Turn span recording off; returns whatever spans were recorded."""
+    global _tracer
+    spans = _tracer.drain()
+    _tracer = _NOOP
+    return spans

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 
+from .. import telemetry
 from ..jit.cache import canonical_key
 from ..symbolic import expr as E
 from ..symbolic.matrix import ExpressionMatrix
@@ -73,10 +74,21 @@ def compile_network(
     if not network.tensors:
         raise ValueError("cannot compile an empty tensor network")
     contract = OutputContract.coerce(contract)
-    network = specialize_network(network, contract)
-    tree = plan_contraction(network, path_strategy)
-    program = _CodeGen(tree, fusion=fusion, hoist=hoist_constants).generate()
+    tracer = telemetry.tracer()
+    with tracer.span(
+        "compile_network", category="compile",
+        tensors=len(network.tensors), contract=str(contract.key()),
+    ):
+        network = specialize_network(network, contract)
+        with tracer.span("pathfind", category="pathfind",
+                         strategy=path_strategy):
+            tree = plan_contraction(network, path_strategy)
+        with tracer.span("codegen", category="compile"):
+            program = _CodeGen(
+                tree, fusion=fusion, hoist=hoist_constants
+            ).generate()
     program.contract = contract.program_key()
+    telemetry.metrics().counter("compile.networks").add()
     return program
 
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..jit.codegen import generate_inline_write, writer_globals
 from ..jit.compiled import CompiledExpression
 from ..tensornet.bytecode import Instruction, Program
@@ -520,7 +521,12 @@ def fused_kernel_for(
     key = (bool(grad), bool(batched))
     kernel = cache.get(key)
     if kernel is None:
-        kernel = generate_fused_kernel(program, compiled, grad, batched)
+        with telemetry.tracer().span(
+            "fuse.codegen", category="fuse",
+            dim=program.dim, grad=bool(grad), batched=bool(batched),
+        ):
+            kernel = generate_fused_kernel(program, compiled, grad, batched)
+        telemetry.metrics().counter("fuse.kernels_generated").add()
         cache[key] = kernel
     return kernel
 

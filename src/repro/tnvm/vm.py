@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..jit.cache import ExpressionCache, global_cache
 from ..tensornet.bytecode import Program
 from ..tensornet.contract import OutputContract
@@ -153,6 +154,13 @@ class TNVM:
             program.output_shape[0],
             column=self.contract.column_based,
         )
+        # Backend selection + sweep counters: bound once here so the
+        # hot path below pays one attribute add per sweep, no registry
+        # lookup or lock.
+        registry = telemetry.metrics()
+        registry.counter(f"vm.backend.{self.backend}").add()
+        self._sweeps = registry.counter("vm.sweeps")
+        self._grad_sweeps = registry.counter("vm.grad_sweeps")
         if self.backend == "fused":
             # The whole dynamic section as ONE generated function (see
             # repro.tnvm.fused); the sweep below degenerates to a
@@ -208,6 +216,7 @@ class TNVM:
         ``<bra|U e_j>``.
         """
         self._check(params)
+        self._sweeps.add()
         for run in self._dynamic:
             run(params)
         if self._bra is not None:
@@ -227,6 +236,7 @@ class TNVM:
                 "TNVM was instantiated with Differentiation.NONE"
             )
         self._check(params)
+        self._grad_sweeps.add()
         for run in self._dynamic:
             run(params)
         if self._out_grad_view is not None:
@@ -338,6 +348,10 @@ class BatchedTNVM:
             batched=True,
             column=self.contract.column_based,
         )
+        registry = telemetry.metrics()
+        registry.counter(f"vm.backend.batched.{self.backend}").add()
+        self._sweeps = registry.counter("vm.batched_sweeps")
+        self._grad_sweeps = registry.counter("vm.batched_grad_sweeps")
         if self.backend == "fused":
             # One megakernel for the whole batched dynamic section
             # (bit-identical to the closure sweep; "auto" does not pick
@@ -419,6 +433,7 @@ class BatchedTNVM:
         ``(batch,)`` array of scalars.
         """
         rows = self._check(params)
+        self._sweeps.add()
         for run in self._dynamic:
             run(rows)
         if self._bra is not None:
@@ -440,6 +455,7 @@ class BatchedTNVM:
                 "BatchedTNVM was instantiated with Differentiation.NONE"
             )
         rows = self._check(params)
+        self._grad_sweeps.add()
         for run in self._dynamic:
             run(rows)
         if self._out_grad_view is not None:

@@ -133,8 +133,14 @@ class TestPayloadDedup:
         key = ("test-dedup", circuit.structure_key())
         _WORKER_ENGINES.pop(key, None)
         assert _worker_fit(key, None, target, 2, 1, None) == NEEDS_PAYLOAD
-        params, infidelity, busy = _worker_fit(key, payload, target, 2, 1, None)
+        params, infidelity, busy, spans, metrics = _worker_fit(
+            key, payload, target, 2, 1, None
+        )
         assert params.shape == (circuit.num_params,)
+        # Tracing was off, so no spans ship; the task's metrics delta
+        # always does.
+        assert spans == []
+        assert metrics.get("instantiate.fits", 0) == 1
         # Now the LRU holds the engine: key-only tasks fit directly.
         again = _worker_fit(key, None, target, 2, 1, None)
         assert np.array_equal(again[0], params)

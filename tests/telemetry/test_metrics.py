@@ -1,0 +1,102 @@
+"""Unit tests for the telemetry metrics registry."""
+
+import pytest
+
+from repro.telemetry import Counter, MetricsRegistry, delta
+
+
+class TestCounter:
+    def test_add_and_value(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        c.add(0.5)
+        assert c.value == 5.5
+
+    def test_child_mirrors_into_parent(self):
+        parent = Counter("pool.hits")
+        a, b = parent.child(), parent.child()
+        a.add(3)
+        b.add(2)
+        assert (a.value, b.value, parent.value) == (3, 2, 5)
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_histogram_state(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (2.0, 8.0, 5.0):
+            h.observe(v)
+        state = h.state()
+        assert state["count"] == 3
+        assert state["sum"] == 15.0
+        assert state["min"] == 2.0
+        assert state["max"] == 8.0
+        assert state["mean"] == 5.0
+
+    def test_snapshot_is_flat_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").add(2)
+        reg.gauge("a").set(7)
+        reg.histogram("c").observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["a"] == 7
+        assert snap["b"] == 2
+        assert snap["c"]["count"] == 1
+
+    def test_merge_accumulates(self):
+        # The cross-process path: a worker ships its delta, the parent
+        # folds it in.
+        parent = MetricsRegistry()
+        parent.counter("fits").add(2)
+        parent.histogram("wall").observe(1.0)
+        worker = {"fits": 3, "wall": {"count": 2, "sum": 4.0, "min": 1.5,
+                                      "max": 2.5}}
+        parent.merge(worker)
+        snap = parent.snapshot()
+        assert snap["fits"] == 5
+        assert snap["wall"]["count"] == 3
+        assert snap["wall"]["sum"] == 5.0
+        assert snap["wall"]["min"] == 1.0
+        assert snap["wall"]["max"] == 2.5
+
+
+class TestDelta:
+    def test_delta_of_counters(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").add(2)
+        reg.counter("untouched").add(1)
+        before = reg.snapshot()
+        reg.counter("calls").add(3)
+        reg.counter("fresh").add(1)
+        d = delta(before, reg.snapshot())
+        assert d == {"calls": 3, "fresh": 1}
+
+    def test_delta_of_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("wall").observe(1.0)
+        before = reg.snapshot()
+        reg.histogram("wall").observe(3.0)
+        reg.histogram("wall").observe(5.0)
+        d = delta(before, reg.snapshot())
+        assert d["wall"]["count"] == 2
+        assert d["wall"]["sum"] == 8.0
+        assert d["wall"]["mean"] == 4.0
+
+    def test_zero_change_dropped(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").add(2)
+        snap = reg.snapshot()
+        assert delta(snap, snap) == {}

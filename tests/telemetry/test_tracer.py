@@ -1,0 +1,169 @@
+"""Unit tests for the span tracer and Chrome-trace export."""
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import NoopTracer, Tracer, chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off():
+    """Every test starts and ends with the no-op tracer installed."""
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert isinstance(telemetry.tracer(), NoopTracer)
+        assert not telemetry.tracing_enabled()
+
+    def test_enable_swaps_in_a_recording_tracer(self):
+        tracer = telemetry.enable()
+        assert isinstance(tracer, Tracer)
+        assert telemetry.tracer() is tracer
+        assert telemetry.tracing_enabled()
+
+    def test_enable_is_idempotent(self):
+        assert telemetry.enable() is telemetry.enable()
+
+    def test_disable_returns_recorded_spans(self):
+        telemetry.enable()
+        with telemetry.tracer().span("work"):
+            pass
+        spans = telemetry.disable()
+        assert [s.name for s in spans] == ["work"]
+        assert isinstance(telemetry.tracer(), NoopTracer)
+
+
+class TestSpans:
+    def test_nesting_assigns_parent_ids(self):
+        tracer = telemetry.enable()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.span.parent_id == outer.span.span_id
+        assert outer.span.parent_id is None
+        # Containment: the inner interval sits inside the outer one.
+        assert outer.span.start <= inner.span.start
+        assert inner.span.end <= outer.span.end
+
+    def test_span_args_and_set(self):
+        tracer = telemetry.enable()
+        with tracer.span("fit", category="instantiate", dim=8) as handle:
+            handle.set(starts_used=3)
+        span = telemetry.disable()[0]
+        assert span.category == "instantiate"
+        assert span.args == {"dim": 8, "starts_used": 3}
+
+    def test_noop_tracer_accepts_the_full_surface(self):
+        noop = telemetry.tracer()
+        with noop.span("x", category="y", a=1) as handle:
+            handle.set(b=2)
+        noop.instant("marker")
+        noop.ingest([], label="w")
+        assert noop.drain() == []
+
+
+class TestCrossProcessIngest:
+    def test_ingest_rebases_into_local_clock(self):
+        tracer = telemetry.enable()
+        # A fake worker whose perf_counter epoch differs by 1000s:
+        # identical wall-clock instants differ by 1000 in span time.
+        state = {
+            "name": "fit", "category": "instantiate",
+            "start": 5.0, "end": 6.0, "args": None,
+            "span_id": 1, "parent_id": None,
+            "pid": 99999, "tid": 1,
+            "wall_offset": tracer.wall_offset + 1000.0,
+        }
+        tracer.ingest([state], label="worker-99999")
+        span = tracer.spans()[0]
+        assert span.start == pytest.approx(1005.0)
+        assert span.end == pytest.approx(1006.0)
+        assert span.wall_offset == tracer.wall_offset
+        assert tracer.track_names() == {99999: "worker-99999"}
+
+
+class TestChromeTrace:
+    def test_export_is_valid_chrome_trace_json(self, tmp_path):
+        tracer = telemetry.enable()
+        with tracer.span("outer", category="synthesize"):
+            with tracer.span("inner", category="compile", dim=4):
+                pass
+        path = tmp_path / "trace.json"
+        telemetry.write_chrome_trace(path)
+        trace = json.loads(path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for e in complete:
+            assert e["dur"] >= 0
+            assert isinstance(e["ts"], float)
+        assert meta and meta[0]["args"]["name"] == "repro main"
+
+    def test_unfinished_spans_are_skipped(self):
+        tracer = telemetry.enable()
+        handle = tracer.span("open")
+        with tracer.span("closed"):
+            pass
+        trace = chrome_trace(tracer.spans() + [handle.span])
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert names == ["closed"]
+
+
+class TestOverhead:
+    def test_disabled_tracer_overhead_smoke(self):
+        # The no-op span must stay within interpreter noise: bound it
+        # against an equally trivial context manager. Generous 5x bound
+        # (CI machines are noisy); the real contract is "no locks, no
+        # allocation, no time syscalls".
+        import contextlib
+
+        @contextlib.contextmanager
+        def trivial():
+            yield
+
+        n = 20_000
+        noop = telemetry.tracer()
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with noop.span("x"):
+                pass
+        noop_cost = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with trivial():
+                pass
+        baseline = time.perf_counter() - t0
+        assert noop_cost < 5 * baseline + 0.05
+
+
+class TestLogging:
+    def test_debug_span_logging_behind_flag(self, caplog):
+        telemetry.enable(log_spans=True)
+        with caplog.at_level(logging.DEBUG, logger="repro.telemetry"):
+            with telemetry.tracer().span("fit", category="instantiate"):
+                pass
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("span start instantiate:fit" in m for m in messages)
+        assert any("span stop instantiate:fit" in m for m in messages)
+
+    def test_no_span_logging_by_default(self, caplog, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_LOG", raising=False)
+        telemetry.enable()
+        with caplog.at_level(logging.DEBUG, logger="repro.telemetry"):
+            with telemetry.tracer().span("quiet"):
+                pass
+        assert not caplog.records
+
+    def test_package_root_has_null_handler(self):
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
