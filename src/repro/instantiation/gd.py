@@ -95,6 +95,12 @@ def adam_minimize(
         ):
             stop_reason = "success-threshold"
             break
+        if not (np.isfinite(value) and np.all(np.isfinite(grad))):
+            # A NaN/Inf value or gradient would corrupt the moment
+            # estimates (and NaN silently fails every comparison
+            # below); stop at the best finite point seen so far.
+            stop_reason = "non-finite"
+            break
         if float(np.max(np.abs(grad), initial=0.0)) < opts.gradient_tolerance:
             stop_reason = "gradient-tolerance"
             break
@@ -110,7 +116,9 @@ def adam_minimize(
     converged = stop_reason in ("success-threshold", "gradient-tolerance")
     return AdamResult(
         params=best_x,
-        infidelity=best_value,
+        infidelity=(
+            best_value if np.isfinite(best_value) else float("inf")
+        ),
         iterations=iteration,
         converged=converged,
         stop_reason=stop_reason,

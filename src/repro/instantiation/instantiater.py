@@ -502,6 +502,11 @@ class Instantiater:
             if to_infidelity is not None
             else infidelity_from_cost(best.cost, self.vm.dim)
         )
+        if not np.isfinite(infidelity):
+            # Every start diverged to NaN/Inf: report an infinite (not
+            # NaN) infidelity so callers' comparisons stay ordered.
+            telemetry.metrics().counter("instantiate.nonfinite_fits").add()
+            infidelity = float("inf")
         result = InstantiationResult(
             params=best.params,
             infidelity=infidelity,

@@ -79,10 +79,22 @@ def levenberg_marquardt(
 
     if x.size == 0:
         return LMResult(
-            params=x, cost=cost, iterations=0, num_evaluations=1,
+            params=x,
+            cost=cost if np.isfinite(cost) else float("inf"),
+            iterations=0, num_evaluations=1,
             converged=opts.success_cost is not None
             and cost <= opts.success_cost,
             stop_reason="no-parameters",
+        )
+
+    if not np.isfinite(cost):
+        # A start whose very first evaluation is NaN/Inf (pathological
+        # target or start point) has no usable normal equations; fail
+        # it with an infinite cost so the multi-start scan can never
+        # pick it and the infidelity stays well-defined.
+        return LMResult(
+            params=x, cost=float("inf"), iterations=0, num_evaluations=1,
+            converged=False, stop_reason="non-finite",
         )
 
     jtj = jac.T @ jac
@@ -125,6 +137,13 @@ def levenberg_marquardt(
             mu *= nu
         if not accepted:
             stop_reason = "damping-limit"
+            break
+        if not (np.all(np.isfinite(jtr)) and np.all(np.isfinite(jtj))):
+            # The accepted point lowered the cost but its Jacobian
+            # carries NaN/Inf — no further step can be trusted; stop
+            # at the last finite-cost point instead of spinning the
+            # damping loop on garbage normal equations.
+            stop_reason = "non-finite"
             break
         # Convergence by step size only counts for *accepted* steps; a
         # tiny step under heavy damping means the damping is winning,
@@ -248,6 +267,20 @@ def batched_levenberg_marquardt(
             stop[flat] = "gradient-tolerance"
             live &= ~flat
             top &= ~flat
+            # Non-finite guard: a start whose cost or normal equations
+            # went NaN/Inf cannot produce a trustworthy step (and its
+            # NaN would silently fail every comparison below); retire
+            # it here, at its last finite-cost point if it has one.
+            bad = top & (
+                ~np.isfinite(cost) | ~np.isfinite(Jtr).all(axis=1)
+            )
+            if bad.any():
+                stop[bad] = "non-finite"
+                cost[bad] = np.where(
+                    np.isfinite(cost[bad]), cost[bad], np.inf
+                )
+                live &= ~bad
+                top &= ~bad
             # Marquardt scaling, as in the scalar loop: damp
             # proportionally to diag(J^T J) so the trust region
             # respects per-parameter curvature.

@@ -20,6 +20,20 @@ Determinism: each candidate's multi-start RNG is seeded by
 candidate's structure key — never by draw order, so serial and
 parallel evaluation of the same batch return bit-identical results no
 matter how the work is scheduled.
+
+Fault tolerance: a dead worker breaks the whole
+``ProcessPoolExecutor``, so :meth:`ProcessCandidateExecutor.run`
+rebuilds the pool and resubmits only the unresolved jobs (the
+structure-keyed seeding makes the retried results bit-identical to a
+fault-free run).  Per-job retry budgets quarantine poison candidates
+as failed :class:`FitOutcome`\\ s instead of sinking the pass,
+per-job/per-round deadlines bound stragglers, non-finite fit results
+degrade to failed outcomes instead of poisoning the frontier, and
+repeated pool breakage falls back to in-process serial evaluation.
+Every recovery event rides telemetry (``executor.retries`` /
+``.quarantined`` / ``.timeouts`` / ``.pool_rebuilds`` /
+``.serial_fallbacks`` / ``.nonfinite_results`` /
+``.failed_candidates``).
 """
 
 from __future__ import annotations
@@ -30,7 +44,9 @@ import pickle
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -41,6 +57,7 @@ from ..instantiation.instantiater import Instantiater
 from ..instantiation.pool import EnginePool
 from ..tensornet.contract import OutputContract
 from ..jit.cache import ExpressionCache
+from ..testing.faults import maybe_fault
 from ..utils.statevector import state_prep_infidelity
 from ..utils.unitary import hilbert_schmidt_infidelity
 
@@ -79,7 +96,13 @@ class FitJob:
     and shipped-engine payloads.  ``contract`` selects the engine's
     :class:`~repro.tensornet.OutputContract` (``None`` = full
     unitary); state-prep passes set ``OutputContract.column(0)`` so
-    the whole fit runs through a column-specialized engine."""
+    the whole fit runs through a column-specialized engine.
+
+    ``timeout`` is this job's wall-clock budget in seconds (measured
+    from the submission of its attempt); a straggler past it is
+    abandoned as a failed outcome.  ``None`` falls back to the
+    executor's default ``job_timeout`` (itself ``None`` = unbounded).
+    """
 
     circuit: QuditCircuit
     target: np.ndarray
@@ -87,6 +110,7 @@ class FitJob:
     seed: int
     x0: np.ndarray | None = None
     contract: OutputContract | None = None
+    timeout: float | None = None
 
 
 @dataclass
@@ -99,6 +123,12 @@ class FitOutcome:
     #: True when the candidate had parameters and hit an engine (the
     #: condition under which passes count an instantiation call).
     engine_call: bool
+    #: True when the fit never produced a usable result (quarantined
+    #: crash, deadline, non-finite numbers); ``infidelity`` is then
+    #: ``inf``, so the candidate can never win a round or a frontier
+    #: slot, and ``failure`` names the reason.
+    failed: bool = False
+    failure: str = ""
 
 
 def _constant_outcome(job: FitJob) -> FitOutcome:
@@ -117,13 +147,58 @@ def _constant_outcome(job: FitJob) -> FitOutcome:
     )
 
 
+def _failed_outcome(job: FitJob, reason: str) -> FitOutcome:
+    """The degraded result for a candidate that could not be fitted.
+
+    Infinite infidelity (like a hopeless fit, never ``NaN``) keeps
+    every downstream comparison well-behaved: the candidate loses all
+    round scans, never reaches a success threshold, and the search
+    skips it when filling the frontier.
+    """
+    telemetry.metrics().counter("executor.failed_candidates").add()
+    telemetry.tracer().instant(
+        "candidate.failed", category="executor", reason=reason, seed=job.seed
+    )
+    return FitOutcome(
+        params=np.zeros(job.circuit.num_params),
+        infidelity=float("inf"),
+        busy_seconds=0.0,
+        engine_call=False,
+        failed=True,
+        failure=reason,
+    )
+
+
+def _guarded_outcome(
+    job: FitJob, params: np.ndarray, infidelity: float, busy: float
+) -> FitOutcome:
+    """Wrap a fit result, degrading non-finite numbers to a failure.
+
+    The LM loops already refuse to *accept* non-finite steps, but a
+    target or start that evaluates to NaN/Inf on the very first sweep
+    still surfaces here; converting it to a failed outcome keeps the
+    garbage out of the frontier and out of warm-start vectors.
+    """
+    if not np.isfinite(infidelity) or not np.all(np.isfinite(params)):
+        telemetry.metrics().counter("executor.nonfinite_results").add()
+        return _failed_outcome(job, "non-finite")
+    return FitOutcome(
+        params=params,
+        infidelity=infidelity,
+        busy_seconds=busy,
+        engine_call=True,
+    )
+
+
 class CandidateExecutor:
     """Protocol: evaluate a batch of candidate fits against one pool."""
 
     workers: int = 1
     pool: EnginePool
 
-    def run(self, jobs: list[FitJob]) -> list[FitOutcome]:
+    def run(
+        self, jobs: list[FitJob], round_timeout: float | None = None
+    ) -> list[FitOutcome]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -143,9 +218,21 @@ class SerialCandidateExecutor(CandidateExecutor):
         self.pool = pool
         self.workers = 1
 
-    def run(self, jobs: list[FitJob]) -> list[FitOutcome]:
+    def run(
+        self, jobs: list[FitJob], round_timeout: float | None = None
+    ) -> list[FitOutcome]:
+        deadline = (
+            None if round_timeout is None
+            else time.monotonic() + round_timeout
+        )
         outcomes = []
         for job in jobs:
+            if deadline is not None and time.monotonic() > deadline:
+                # An in-process fit cannot be interrupted mid-flight;
+                # the round budget is enforced between jobs.
+                telemetry.metrics().counter("executor.timeouts").add()
+                outcomes.append(_failed_outcome(job, "round-timeout"))
+                continue
             if job.circuit.num_params == 0:
                 outcomes.append(_constant_outcome(job))
                 continue
@@ -155,11 +242,11 @@ class SerialCandidateExecutor(CandidateExecutor):
                 job.target, starts=job.starts, rng=job.seed, x0=job.x0
             )
             outcomes.append(
-                FitOutcome(
-                    params=result.params,
-                    infidelity=result.infidelity,
-                    busy_seconds=time.perf_counter() - t0,
-                    engine_call=True,
+                _guarded_outcome(
+                    job,
+                    result.params,
+                    result.infidelity,
+                    time.perf_counter() - t0,
                 )
             )
         return outcomes
@@ -217,7 +304,15 @@ def _worker_fit(
     ships their states so the parent merges one coherent timeline
     tagged with this worker's pid.  The fit itself never consults
     either, so results are bit-identical with tracing on or off.
+
+    The :func:`~repro.testing.faults.maybe_fault` hook at the top is
+    the chaos suite's handle on this process: an armed ``REPRO_FAULT``
+    can kill the worker here (exercising the parent's pool-rebuild
+    retry), hang it (exercising the job deadline), or flag the result
+    for NaN corruption (exercising the non-finite quarantine).  With
+    no spec armed the hook is a single ``os.environ`` read.
     """
+    fault = maybe_fault("worker_fit", key=seed)
     registry = telemetry.metrics()
     metrics_before = registry.snapshot()
     if trace:
@@ -245,6 +340,19 @@ def _worker_fit(
                 target, starts=starts, rng=seed, x0=x0
             )
             busy = time.perf_counter() - t0
+            params, infidelity = result.params, result.infidelity
+            if fault == "nan":
+                params = np.full_like(params, np.nan)
+                infidelity = float("nan")
+            if not np.isfinite(infidelity) or not np.all(
+                np.isfinite(params)
+            ):
+                # Never ship garbage parameters across the pipe: the
+                # parent will degrade this to a failed outcome, but
+                # normalize here too so a partially-written result
+                # can't leak NaN into any consumer.
+                params = np.zeros_like(params)
+                infidelity = float("inf")
     finally:
         # Per-task enable/disable keeps the worker's tracer empty
         # between tasks (and inert when the parent stops tracing).
@@ -252,12 +360,26 @@ def _worker_fit(
             [span.state() for span in telemetry.disable()] if trace else []
         )
     return (
-        result.params,
-        result.infidelity,
+        params,
+        infidelity,
         busy,
         spans,
         telemetry.delta(metrics_before, registry.snapshot()),
     )
+
+
+@dataclass
+class _PendingFit:
+    """Parent-side state of one not-yet-resolved process-pool job."""
+
+    job: FitJob
+    key: tuple
+    payload: bytes
+    retries: int = 0
+    #: next submission must carry the payload (worker signalled
+    #: NEEDS_PAYLOAD, or the pool was rebuilt with cold workers)
+    force_payload: bool = False
+    shipped_payload: bool = field(default=False, compare=False)
 
 
 class ProcessCandidateExecutor(CandidateExecutor):
@@ -279,6 +401,18 @@ class ProcessCandidateExecutor(CandidateExecutor):
     that one task with the snapshot.  Steady-state traffic therefore
     carries no engine bytes at all; the ``payloads_shipped`` /
     ``payloads_skipped`` counters expose the split.
+
+    Failure posture: a crashed worker breaks the whole
+    ``ProcessPoolExecutor``, so :meth:`run` collects whatever results
+    completed, rebuilds the pool, and resubmits only the unresolved
+    jobs — each at most ``max_retries`` times before it is quarantined
+    as a failed outcome.  After ``max_pool_rebuilds`` rebuilds within
+    one :meth:`run`, the remaining jobs are evaluated in-process
+    through a :class:`SerialCandidateExecutor` instead of erroring the
+    pass (structure-keyed seeds make the fallback bit-identical).
+    ``job_timeout`` (overridable per :class:`FitJob`) and the
+    per-round budget bound stragglers; a timed-out round tears the
+    pool down without waiting (hung workers are killed, not joined).
     """
 
     def __init__(
@@ -286,16 +420,31 @@ class ProcessCandidateExecutor(CandidateExecutor):
         pool: EnginePool,
         workers: int,
         mp_context: str | None = None,
+        max_retries: int = 2,
+        max_pool_rebuilds: int = 2,
+        job_timeout: float | None = None,
     ):
         if workers < 2:
             raise ValueError("ProcessCandidateExecutor needs workers >= 2")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
         self.pool = pool
         self.workers = workers
+        self.max_retries = max_retries
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.job_timeout = job_timeout
         #: shapes at least one completed batch has shipped to the pool
         self._shipped: set[tuple] = set()
         self.payloads_shipped = 0
         self.payloads_skipped = 0
         self.payload_resends = 0
+        #: set by ``__exit__``: the owner declared this executor done,
+        #: so a later ``run()`` is a bug, not a restart request.
+        self._terminal = False
         if mp_context is None:
             # forkserver gives cheap per-worker forks from a clean
             # server process (no inherited BLAS/OpenMP thread state, no
@@ -334,16 +483,46 @@ class ProcessCandidateExecutor(CandidateExecutor):
             )
         return self._executor
 
-    def run(self, jobs: list[FitJob]) -> list[FitOutcome]:
+    @staticmethod
+    def _attempt_timeout(
+        attempt_start: float,
+        job_timeout: float | None,
+        round_deadline: float | None,
+    ) -> float | None:
+        """Seconds to wait on one future: the tighter of the job's
+        own budget (from its attempt's submission) and the round
+        deadline; ``None`` = wait forever."""
+        deadlines = []
+        if job_timeout is not None:
+            deadlines.append(attempt_start + job_timeout)
+        if round_deadline is not None:
+            deadlines.append(round_deadline)
+        if not deadlines:
+            return None
+        return max(0.0, min(deadlines) - time.monotonic())
+
+    def run(
+        self, jobs: list[FitJob], round_timeout: float | None = None
+    ) -> list[FitOutcome]:
+        if self._terminal:
+            raise RuntimeError(
+                "this ProcessCandidateExecutor was closed by its context "
+                "manager and is done; build a new executor (an explicit "
+                "close() instead leaves it restartable)"
+            )
+        registry = telemetry.metrics()
+        tracer = telemetry.tracer()
+        round_deadline = (
+            None if round_timeout is None
+            else time.monotonic() + round_timeout
+        )
         outcomes: list[FitOutcome | None] = [None] * len(jobs)
-        # (index, key, payload bytes, job, future); the parent always
-        # resolves the payload — one engine_for per job, the same
-        # hit/miss pattern as the serial executor, and the bytes are
-        # on hand for a needs-payload retry — but attaches it to the
-        # task only for shapes no completed batch has shipped yet.
-        submitted: list[tuple[int, tuple, bytes, FitJob, object]] = []
-        executor = None
-        batch_new: set[tuple] = set()
+        # The parent always resolves the payload — one engine_for per
+        # job, the same hit/miss pattern as the serial executor, and
+        # the bytes are on hand for needs-payload and crash-retry
+        # resubmissions — but attaches it to a task only for shapes no
+        # completed batch has shipped yet.
+        pending: dict[int, _PendingFit] = {}
         for i, job in enumerate(jobs):
             if job.circuit.num_params == 0:
                 outcomes[i] = _constant_outcome(job)
@@ -355,70 +534,184 @@ class ProcessCandidateExecutor(CandidateExecutor):
                 job.circuit.structure_key(),
                 contract.key(),
             )
-            ship = key not in self._shipped
-            if ship:
-                # Every task of a newly seen shape in this batch
-                # carries the payload: the batch may fan out across
-                # all workers, none of which has the engine yet.
-                batch_new.add(key)
-                self.payloads_shipped += 1
-            else:
-                self.payloads_skipped += 1
-            if executor is None:
-                executor = self._ensure_executor()
-            future = executor.submit(
-                _worker_fit,
-                key,
-                payload if ship else None,
-                job.target,
-                job.starts,
-                job.seed,
-                job.x0,
-                telemetry.tracing_enabled(),
-            )
-            submitted.append((i, key, payload, job, future))
+            pending[i] = _PendingFit(job=job, key=key, payload=payload)
+
+        rebuilds = 0
+        timed_out = False
         try:
-            retries: list[tuple[int, object]] = []
-            for i, key, payload, job, future in submitted:
-                result = future.result()
-                if result == NEEDS_PAYLOAD:
-                    # The worker's LRU evicted the shape (or the task
-                    # landed on a worker the first batch never
-                    # reached): resend this one task with the bytes.
-                    self.payloads_shipped += 1
-                    self.payload_resends += 1
-                    retries.append((
-                        i,
-                        executor.submit(
-                            _worker_fit,
-                            key,
-                            payload,
-                            job.target,
-                            job.starts,
-                            job.seed,
-                            job.x0,
-                            telemetry.tracing_enabled(),
-                        ),
-                    ))
-                    continue
-                outcomes[i] = self._outcome(result)
-            for i, future in retries:
-                result = future.result()
-                if result == NEEDS_PAYLOAD:
-                    raise RuntimeError(
-                        "worker demanded a payload that was attached"
+            while pending:
+                if (
+                    round_deadline is not None
+                    and time.monotonic() > round_deadline
+                ):
+                    for i in sorted(pending):
+                        registry.counter("executor.timeouts").add()
+                        outcomes[i] = _failed_outcome(
+                            pending[i].job, "round-timeout"
+                        )
+                    pending.clear()
+                    break
+                executor = self._ensure_executor()
+                attempt_start = time.monotonic()
+                batch_new: set[tuple] = set()
+                futures: list[tuple[int, object]] = []
+                broken = False
+                for i in sorted(pending):
+                    entry = pending[i]
+                    ship = (
+                        entry.force_payload
+                        or entry.key not in self._shipped
                     )
-                outcomes[i] = self._outcome(result)
-            self._shipped |= batch_new
+                    entry.shipped_payload = ship
+                    if ship:
+                        # Every task of a newly seen shape in this
+                        # batch carries the payload: the batch may fan
+                        # out across all workers, none of which has
+                        # the engine yet.
+                        batch_new.add(entry.key)
+                        self.payloads_shipped += 1
+                        if entry.force_payload:
+                            self.payload_resends += 1
+                            entry.force_payload = False
+                    else:
+                        self.payloads_skipped += 1
+                    try:
+                        futures.append((
+                            i,
+                            executor.submit(
+                                _worker_fit,
+                                entry.key,
+                                entry.payload if ship else None,
+                                entry.job.target,
+                                entry.job.starts,
+                                entry.job.seed,
+                                entry.job.x0,
+                                telemetry.tracing_enabled(),
+                            ),
+                        ))
+                    except BrokenProcessPool:
+                        # The pool died under an earlier submission;
+                        # everything unsubmitted stays pending.
+                        broken = True
+                        break
+                for i, future in futures:
+                    job_timeout = (
+                        pending[i].job.timeout
+                        if pending[i].job.timeout is not None
+                        else self.job_timeout
+                    )
+                    try:
+                        result = future.result(
+                            timeout=self._attempt_timeout(
+                                attempt_start, job_timeout, round_deadline
+                            )
+                        )
+                    except FuturesTimeout:
+                        # The straggler may be hung, not just slow:
+                        # abandon the result either way, and tear the
+                        # pool down at the end of the run so the
+                        # occupied worker is reclaimed, not reused.
+                        future.cancel()
+                        timed_out = True
+                        registry.counter("executor.timeouts").add()
+                        reason = (
+                            "round-timeout"
+                            if round_deadline is not None
+                            and time.monotonic() >= round_deadline
+                            else "timeout"
+                        )
+                        outcomes[i] = _failed_outcome(
+                            pending.pop(i).job, reason
+                        )
+                        continue
+                    except BrokenProcessPool:
+                        broken = True
+                        continue  # stays pending for the retry pass
+                    entry = pending[i]
+                    if result == NEEDS_PAYLOAD:
+                        if entry.shipped_payload:
+                            raise RuntimeError(
+                                "worker demanded a payload that was "
+                                "attached"
+                            )
+                        # The worker's LRU evicted the shape (or the
+                        # task landed on a worker the first batch never
+                        # reached): resend with the bytes next pass.
+                        entry.force_payload = True
+                        continue
+                    outcomes[i] = self._outcome(entry.job, result)
+                    del pending[i]
+                if not broken:
+                    self._shipped |= batch_new
+                    continue
+                # --- crash recovery -----------------------------------
+                # A dead worker broke the pool: everything that had
+                # completed was already harvested above (done futures
+                # keep their results); what remains is retried on a
+                # fresh pool, within a per-job budget.
+                rebuilds += 1
+                registry.counter("executor.pool_rebuilds").add()
+                tracer.instant(
+                    "pool.rebuild", category="executor",
+                    rebuilds=rebuilds, unresolved=len(pending),
+                )
+                for i in sorted(pending):
+                    entry = pending[i]
+                    entry.retries += 1
+                    if entry.retries > self.max_retries:
+                        # A candidate that keeps killing workers is
+                        # poison: fail it so the round (and the pass)
+                        # survive without it.
+                        registry.counter("executor.quarantined").add()
+                        outcomes[i] = _failed_outcome(
+                            entry.job, "quarantined"
+                        )
+                        del pending[i]
+                    else:
+                        registry.counter("executor.retries").add()
+                self._abandon()  # also clears _shipped: cold workers
+                if pending and rebuilds > self.max_pool_rebuilds:
+                    # The pool keeps dying under jobs that are still
+                    # within their own retry budgets — stop burning
+                    # workers and finish the round in-process.
+                    registry.counter("executor.serial_fallbacks").add()
+                    tracer.instant(
+                        "serial.fallback", category="executor",
+                        jobs=len(pending),
+                    )
+                    order = sorted(pending)
+                    remaining_budget = (
+                        None if round_deadline is None
+                        else max(0.0, round_deadline - time.monotonic())
+                    )
+                    serial = SerialCandidateExecutor(self.pool).run(
+                        [pending[i].job for i in order],
+                        round_timeout=remaining_budget,
+                    )
+                    for i, outcome in zip(order, serial):
+                        outcomes[i] = outcome
+                    pending.clear()
+        except KeyboardInterrupt:
+            # Ctrl-C must not block on in-flight fits: cancel queued
+            # work, kill the workers, and leave the executor
+            # restartable (the old shutdown(wait=True) path could hang
+            # for a full LM fit — or forever, on a hung worker).
+            self._abandon()
+            raise
         except BaseException:
-            # A dead worker leaves a ProcessPoolExecutor permanently
-            # broken; drop it so the next run() rebuilds a fresh pool
-            # instead of failing forever.
+            # An unexpected error (pickling, protocol) leaves the pool
+            # in an unknown state; drop it so the next run() rebuilds
+            # a fresh pool instead of failing forever.
             self.close()
             raise
+        if timed_out:
+            # At least one worker may still be executing an abandoned
+            # task (or be hung outright); recycle the pool so the next
+            # round starts with responsive workers.
+            self._abandon()
         return outcomes  # type: ignore[return-value]
 
-    def _outcome(self, result) -> FitOutcome:
+    def _outcome(self, job: FitJob, result) -> FitOutcome:
         params, infidelity, busy, span_states, metrics_delta = result
         if span_states:
             # Re-base the worker's spans into this process's clock and
@@ -428,14 +721,31 @@ class ProcessCandidateExecutor(CandidateExecutor):
             )
         if metrics_delta:
             telemetry.metrics().merge(metrics_delta)
-        return FitOutcome(
-            params=params,
-            infidelity=infidelity,
-            busy_seconds=busy,
-            engine_call=True,
-        )
+        return _guarded_outcome(job, params, infidelity, busy)
+
+    def _abandon(self) -> None:
+        """Tear the pool down without waiting on in-flight work.
+
+        Used when workers may be dead, hung, or mid-task after an
+        interrupt: queued tasks are cancelled, worker processes are
+        killed rather than joined, and the executor stays restartable
+        (the next :meth:`run` builds a fresh pool and re-ships
+        payloads).
+        """
+        executor, self._executor = self._executor, None
+        self._shipped.clear()
+        if executor is None:
+            return
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass  # already dead, or never fully started
+        executor.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
+        """Shut the pool down cleanly (idempotent; the executor stays
+        restartable — the next :meth:`run` builds a fresh pool)."""
         if self._executor is not None:
             # wait=True: the pool is idle (run() drains its futures),
             # and a non-waiting shutdown races the management thread
@@ -447,15 +757,33 @@ class ProcessCandidateExecutor(CandidateExecutor):
         # ship again.
         self._shipped.clear()
 
+    def __exit__(self, *_exc) -> None:
+        self.close()
+        self._terminal = True
+
 
 def make_executor(
     pool: EnginePool,
     workers: int = 1,
     mp_context: str | None = None,
+    max_retries: int = 2,
+    max_pool_rebuilds: int = 2,
+    job_timeout: float | None = None,
 ) -> CandidateExecutor:
-    """The executor for a worker count: serial at 1, processes above."""
+    """The executor for a worker count: serial at 1, processes above.
+
+    The fault-tolerance knobs (``max_retries``, ``max_pool_rebuilds``,
+    ``job_timeout``) only apply to the process executor; serial
+    evaluation has no workers to lose."""
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if workers == 1:
         return SerialCandidateExecutor(pool)
-    return ProcessCandidateExecutor(pool, workers, mp_context=mp_context)
+    return ProcessCandidateExecutor(
+        pool,
+        workers,
+        mp_context=mp_context,
+        max_retries=max_retries,
+        max_pool_rebuilds=max_pool_rebuilds,
+        job_timeout=job_timeout,
+    )

@@ -46,6 +46,15 @@ class SynthesisResult:
     windows: list["SynthesisResult"] = field(default_factory=list)
     workers: int = 1
     parallel_efficiency: float | None = None
+    #: Degradation counters (from the executor's telemetry): candidates
+    #: that returned a failed outcome (quarantined crash, deadline,
+    #: non-finite fit), crash-retry resubmissions that recovered, and
+    #: deadline expiries.  All zero on a healthy pass; a caller seeing
+    #: nonzero values knows this result ran degraded rounds (its best
+    #: circuit is still valid, but some candidates were never scored).
+    failed_candidates: int = 0
+    retries: int = 0
+    timed_out: int = 0
     #: The merged telemetry-registry delta this pass produced (flat
     #: metric name -> number, or histogram-state dict); includes
     #: metrics shipped back from worker processes.  Empty for results
@@ -124,6 +133,12 @@ class SynthesisResult:
         if self.parallel_efficiency is not None:
             lines.append(
                 f"  parallel efficiency: {self.parallel_efficiency:.0%}"
+            )
+        if self.failed_candidates or self.retries or self.timed_out:
+            lines.append(
+                f"  degraded: {self.failed_candidates} failed "
+                f"candidate(s), {self.retries} crash retries, "
+                f"{self.timed_out} deadline expiries"
             )
         if self.windows:
             lines.append(f"  windows: {len(self.windows)}")

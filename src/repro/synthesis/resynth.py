@@ -98,6 +98,9 @@ class Resynthesizer:
         workers: int = 1,
         executor: CandidateExecutor | None = None,
         backend: str | None = None,
+        job_timeout: float | None = None,
+        round_timeout: float | None = None,
+        max_retries: int = 2,
     ):
         if scan_order not in SCAN_ORDERS:
             raise ValueError(
@@ -108,11 +111,20 @@ class Resynthesizer:
             raise ValueError("scan_batch must be >= 1 (or None)")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError("round_timeout must be positive (or None)")
         self.success_threshold = success_threshold
         self.starts = starts
         self.max_passes = max_passes
         self.scan_order = scan_order
         self.scan_batch = scan_batch
+        # Fault-tolerance budgets (see SynthesisSearch): per-candidate
+        # and per-wave wall clocks, and the crash-retry budget.
+        self.job_timeout = job_timeout
+        self.round_timeout = round_timeout
+        self.max_retries = max_retries
         self.pool = _resolve_pool(
             pool, success_threshold, strategy, precision, lm_options, backend
         )
@@ -137,7 +149,12 @@ class Resynthesizer:
     @property
     def executor(self) -> CandidateExecutor:
         if self._executor is None:
-            self._executor = make_executor(self.pool, self.workers)
+            self._executor = make_executor(
+                self.pool,
+                self.workers,
+                max_retries=self.max_retries,
+                job_timeout=self.job_timeout,
+            )
         return self._executor
 
     def close(self) -> None:
@@ -221,9 +238,11 @@ class Resynthesizer:
                     candidate_seed(base_seed, current.structure_key()),
                     x0,
                     contract=contract,
+                    timeout=self.job_timeout,
                 )
             ],
             counters,
+            round_timeout=self.round_timeout,
         )
         cur_params, cur_inf = baseline.params, baseline.infidelity
 
@@ -254,11 +273,15 @@ class Resynthesizer:
                             ),
                             cur_params[list(kept)],
                             contract=contract,
+                            timeout=self.job_timeout,
                         )
                     )
                     candidates.append(candidate)
                 counters.expanded.add(len(wave))
-                outcomes = _run_round(executor, jobs, counters)
+                outcomes = _run_round(
+                    executor, jobs, counters,
+                    round_timeout=self.round_timeout,
+                )
                 # Accept the first fitting deletion in scan order — the
                 # same winner regardless of how the wave was scheduled.
                 for candidate, outcome in zip(candidates, outcomes):
@@ -277,6 +300,7 @@ class Resynthesizer:
             passes=passes, examined=counters.expanded.value
         )
         resynth_span.__exit__(None, None, None)
+        pass_metrics = telemetry.delta(metrics0, registry.snapshot())
         return SynthesisResult(
             circuit=current,
             params=cur_params,
@@ -289,7 +313,12 @@ class Resynthesizer:
             wall_seconds=time.perf_counter() - t0,
             workers=executor.workers,
             parallel_efficiency=_parallel_efficiency(executor, counters),
-            metrics=telemetry.delta(metrics0, registry.snapshot()),
+            metrics=pass_metrics,
+            failed_candidates=int(
+                pass_metrics.get("executor.failed_candidates", 0)
+            ),
+            retries=int(pass_metrics.get("executor.retries", 0)),
+            timed_out=int(pass_metrics.get("executor.timeouts", 0)),
         )
 
 
@@ -439,6 +468,9 @@ class PartitionedSynthesizer:
             engine_cache_hits=sum(w.engine_cache_hits for w in windows),
             engine_cache_misses=sum(w.engine_cache_misses for w in windows),
             nodes_expanded=sum(w.nodes_expanded for w in windows),
+            failed_candidates=sum(w.failed_candidates for w in windows),
+            retries=sum(w.retries for w in windows),
+            timed_out=sum(w.timed_out for w in windows),
             wall_seconds=time.perf_counter() - t0,
             windows=windows,
             workers=self.search.workers,

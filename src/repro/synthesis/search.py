@@ -120,6 +120,7 @@ def _run_round(
     executor: CandidateExecutor,
     jobs: list[FitJob],
     counters: _PassCounters,
+    round_timeout: float | None = None,
 ):
     """Evaluate one round of candidate fits and update the pass
     counters (shared by the search and resynthesis passes).
@@ -127,13 +128,15 @@ def _run_round(
     ``calls`` counts engine invocations (constant candidates have
     nothing to optimize and are evaluated directly, without counting);
     ``busy``/``eval_wall`` feed the ``parallel_efficiency`` report.
+    ``round_timeout`` bounds the whole round's wall clock: stragglers
+    past it degrade to failed outcomes instead of stalling the pass.
     """
     with telemetry.tracer().span(
         "round", category="synthesize",
         jobs=len(jobs), workers=executor.workers,
     ):
         t0 = time.perf_counter()
-        outcomes = executor.run(jobs)
+        outcomes = executor.run(jobs, round_timeout=round_timeout)
         counters.eval_wall.add(time.perf_counter() - t0)
     for outcome in outcomes:
         counters.busy.add(outcome.busy_seconds)
@@ -203,6 +206,15 @@ class SynthesisSearch:
     results regardless of worker count; widen it (typically to the
     worker count or a small multiple of the grammar's branching factor)
     to give the executor enough concurrent candidates per round.
+
+    Fault tolerance: worker crashes are retried (up to ``max_retries``
+    per candidate) on a rebuilt pool — structure-keyed seeding makes
+    the recovered result bit-identical to a fault-free run —
+    ``job_timeout`` / ``round_timeout`` bound stragglers, and
+    candidates that fail anyway (quarantined, timed out, non-finite)
+    are excluded from the frontier rather than erroring the pass; the
+    result's ``failed_candidates`` / ``retries`` / ``timed_out``
+    fields report such degradation.
     """
 
     def __init__(
@@ -223,6 +235,9 @@ class SynthesisSearch:
         expansion_width: int = 1,
         executor: CandidateExecutor | None = None,
         backend: str | None = None,
+        job_timeout: float | None = None,
+        round_timeout: float | None = None,
+        max_retries: int = 2,
     ):
         if not callable(heuristic) and heuristic not in ("astar", "dijkstra"):
             raise ValueError(
@@ -232,6 +247,10 @@ class SynthesisSearch:
             raise ValueError("workers must be >= 1")
         if expansion_width < 1:
             raise ValueError("expansion_width must be >= 1")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if round_timeout is not None and round_timeout <= 0:
+            raise ValueError("round_timeout must be positive (or None)")
         self.layer_generator = layer_generator or QSearchLayerGenerator()
         self.success_threshold = success_threshold
         self.heuristic = heuristic
@@ -241,6 +260,12 @@ class SynthesisSearch:
         self.starts = starts
         self.warm_start = warm_start
         self.expansion_width = expansion_width
+        #: Fault-tolerance budgets, threaded into every round's
+        #: :class:`FitJob`\ s (per-job wall clock) and executor calls
+        #: (per-round wall clock); ``None`` = unbounded, the default.
+        self.job_timeout = job_timeout
+        self.round_timeout = round_timeout
+        self.max_retries = max_retries
         #: The engine pool persists across ``synthesize`` calls, so a
         #: search object reused for many targets pays each template
         #: shape's AOT compile once (the Listing 3 amortization).
@@ -270,7 +295,12 @@ class SynthesisSearch:
         """The candidate executor (built lazily so serial searches and
         unpicklable process machinery never mix)."""
         if self._executor is None:
-            self._executor = make_executor(self.pool, self.workers)
+            self._executor = make_executor(
+                self.pool,
+                self.workers,
+                max_retries=self.max_retries,
+                job_timeout=self.job_timeout,
+            )
         return self._executor
 
     def close(self) -> None:
@@ -364,6 +394,7 @@ class SynthesisSearch:
                 success=success, expanded=counters.expanded.value
             )
             pass_span.__exit__(None, None, None)
+            pass_metrics = telemetry.delta(metrics0, registry.snapshot())
             return SynthesisResult(
                 circuit=node.circuit,
                 params=node.params,
@@ -376,7 +407,12 @@ class SynthesisSearch:
                 wall_seconds=time.perf_counter() - t0,
                 workers=executor.workers,
                 parallel_efficiency=_parallel_efficiency(executor, counters),
-                metrics=telemetry.delta(metrics0, registry.snapshot()),
+                metrics=pass_metrics,
+                failed_candidates=int(
+                    pass_metrics.get("executor.failed_candidates", 0)
+                ),
+                retries=int(pass_metrics.get("executor.retries", 0)),
+                timed_out=int(pass_metrics.get("executor.timeouts", 0)),
             )
 
         root_circuit = self.layer_generator.initial(radices)
@@ -389,9 +425,11 @@ class SynthesisSearch:
                     self.starts,
                     candidate_seed(base_seed, root_circuit.structure_key()),
                     contract=contract,
+                    timeout=self.job_timeout,
                 )
             ],
             counters,
+            round_timeout=self.round_timeout,
         )
         root = _Node(
             root_circuit, root_outcome.params, root_outcome.infidelity, 0
@@ -402,6 +440,9 @@ class SynthesisSearch:
         best = root
         visited = {root_circuit.structure_key()}
         tick = 0  # FIFO tiebreak keeps the heap deterministic
+        # A failed root (quarantined/timed out: infinite infidelity)
+        # still seeds the frontier — its successors may fit fine — but
+        # failed *candidates* below never re-enter it.
         frontier: list[tuple[float, int, _Node]] = [
             (self._priority(root.infidelity, 0), tick, root)
         ]
@@ -451,6 +492,7 @@ class SynthesisSearch:
                             candidate_seed(base_seed, key),
                             x0,
                             contract=contract,
+                            timeout=self.job_timeout,
                         )
                     )
                     meta.append((child, node))
@@ -459,8 +501,16 @@ class SynthesisSearch:
             # workers > 1); outcomes are then scanned in deterministic
             # job order, so the first success is the same no matter how
             # the batch was scheduled.
-            outcomes = _run_round(executor, jobs, counters)
+            outcomes = _run_round(
+                executor, jobs, counters, round_timeout=self.round_timeout
+            )
             for (child, parent), outcome in zip(meta, outcomes):
+                if outcome.failed:
+                    # Quarantined / timed-out / non-finite candidates
+                    # never join the frontier: an infinite-infidelity
+                    # node would only waste an expansion, and its
+                    # zeroed parameters must not warm-start children.
+                    continue
                 child_node = _Node(
                     child, outcome.params, outcome.infidelity,
                     parent.layers + 1,

@@ -1,0 +1,22 @@
+"""Deterministic test harnesses for the synthesis stack.
+
+Currently home to :mod:`repro.testing.faults`, the fault injector the
+chaos suite uses to prove the executor's crash/hang/NaN recovery paths
+are deterministic and result-preserving.
+"""
+
+from .faults import (
+    FaultSpec,
+    activate,
+    active_spec,
+    maybe_fault,
+    parse_spec,
+)
+
+__all__ = [
+    "FaultSpec",
+    "activate",
+    "active_spec",
+    "maybe_fault",
+    "parse_spec",
+]

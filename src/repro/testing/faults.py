@@ -1,0 +1,213 @@
+"""Deterministic fault injection for chaos-testing candidate execution.
+
+The executor's recovery paths (crash retry, deadlines, NaN quarantine,
+serial fallback) are only trustworthy if they can be *provoked on
+demand, deterministically* — including inside spawned worker
+processes, where a test cannot reach with a monkeypatch.  This module
+is that trigger: production code calls :func:`maybe_fault` at a named
+fault point, and the injector consults the ``REPRO_FAULT`` environment
+variable (inherited by ``spawn``/``forkserver`` children created after
+it is set) to decide whether this particular hit should crash, hang,
+or corrupt.
+
+Spec grammar (``REPRO_FAULT=<kind>:<selector>``):
+
+* kind — ``crash`` (``os._exit``, **worker processes only**; inert in
+  the main process so a serial fallback cannot kill the parent),
+  ``hang`` (sleep ``REPRO_FAULT_HANG`` seconds, default 3600), or
+  ``nan`` (returned to the caller, which corrupts its own numbers);
+* selector — which hits fire:
+
+  - ``always`` — every hit;
+  - ``once`` — the first hit only (alias of ``first1``);
+  - ``first<N>`` — the first ``N`` hits;
+  - ``tick<N>`` — the ``N``-th hit only (0-based);
+  - ``seed<K>`` — every hit whose ``key`` equals ``K`` (a "poison
+    job" that fails on every retry).
+
+Hit ordinals ("ticks") are claimed atomically across *all* processes
+through marker files in ``REPRO_FAULT_DIR`` (``O_CREAT | O_EXCL`` —
+each tick is claimed exactly once no matter how many workers race for
+it), so ``once`` means once per run, not once per process.  Without a
+fault dir the counter is process-local, which is only correct for
+single-process use.
+
+Why this is deterministic where it matters: *which* job claims a given
+tick depends on scheduling, but candidate seeds derive from structure
+keys, so a crashed-and-retried job reproduces its clean-run result
+bit-for-bit regardless of which worker (or which attempt) computes it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultSpec",
+    "parse_spec",
+    "active_spec",
+    "maybe_fault",
+    "activate",
+    "ENV_SPEC",
+    "ENV_DIR",
+    "ENV_HANG",
+    "ENV_EXIT",
+]
+
+ENV_SPEC = "REPRO_FAULT"
+ENV_DIR = "REPRO_FAULT_DIR"
+ENV_HANG = "REPRO_FAULT_HANG"
+ENV_EXIT = "REPRO_FAULT_EXIT"
+
+KINDS = ("crash", "hang", "nan")
+
+#: Process-local tick counter, used only when no fault dir is set.
+_local_ticks = 0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault directive."""
+
+    kind: str
+    #: "always", "first", "tick", or "seed"
+    selector: str
+    #: first N / tick N / seed K (unused for "always")
+    value: int = 0
+
+    def needs_tick(self) -> bool:
+        return self.selector in ("first", "tick")
+
+    def matches(self, tick: int | None, key: object) -> bool:
+        if self.selector == "always":
+            return True
+        if self.selector == "first":
+            return tick is not None and tick < self.value
+        if self.selector == "tick":
+            return tick is not None and tick == self.value
+        # "seed": fire on a specific job identity, every attempt.
+        return key == self.value
+
+
+def parse_spec(text: str | None) -> FaultSpec | None:
+    """Parse a ``REPRO_FAULT`` value; ``None``/empty disables."""
+    if not text:
+        return None
+    kind, _, selector = text.partition(":")
+    if kind not in KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; expected one of {KINDS}"
+        )
+    selector = selector or "once"
+    if selector == "always":
+        return FaultSpec(kind, "always")
+    if selector == "once":
+        return FaultSpec(kind, "first", 1)
+    for prefix in ("first", "tick", "seed"):
+        if selector.startswith(prefix):
+            try:
+                value = int(selector[len(prefix):])
+            except ValueError:
+                break
+            return FaultSpec(kind, prefix, value)
+    raise ValueError(
+        f"unknown fault selector {selector!r}; expected always/once/"
+        "first<N>/tick<N>/seed<K>"
+    )
+
+
+def active_spec() -> FaultSpec | None:
+    """The spec currently in the environment (re-read on every call,
+    so tests can flip it without touching module state)."""
+    return parse_spec(os.environ.get(ENV_SPEC))
+
+
+def _claim_tick(fault_dir: str | None) -> int:
+    """Atomically claim the next global hit ordinal.
+
+    With a fault dir, the claim is a marker file created with
+    ``O_CREAT | O_EXCL`` — the filesystem guarantees exactly one
+    process wins each ordinal.  Without one, a process-local counter
+    is used (single-process runs only).
+    """
+    global _local_ticks
+    if fault_dir is None:
+        tick = _local_ticks
+        _local_ticks += 1
+        return tick
+    n = 0
+    while True:
+        try:
+            fd = os.open(
+                os.path.join(fault_dir, f"tick-{n}"),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+            os.close(fd)
+            return n
+        except FileExistsError:
+            n += 1
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_fault(point: str, key: object = None) -> str | None:
+    """Consult the active spec at a named fault point.
+
+    ``key`` identifies the unit of work (the executor passes the job's
+    candidate seed) so ``seed<K>`` selectors can poison one specific
+    job.  Hard faults act here: ``crash`` exits the worker process
+    immediately (inert in the main process), ``hang`` sleeps.  Soft
+    faults are returned — ``"nan"`` tells the caller to corrupt its own
+    result, keeping the corruption at the caller's numerical boundary.
+
+    Returns the kind that fired for soft faults, else ``None``.
+    """
+    spec = active_spec()
+    if spec is None:
+        return None
+    tick = (
+        _claim_tick(os.environ.get(ENV_DIR)) if spec.needs_tick() else None
+    )
+    if not spec.matches(tick, key):
+        return None
+    if spec.kind == "crash":
+        if _in_worker_process():
+            os._exit(int(os.environ.get(ENV_EXIT, "23")))
+        return None
+    if spec.kind == "hang":
+        time.sleep(float(os.environ.get(ENV_HANG, "3600")))
+        return None
+    return spec.kind
+
+
+@contextmanager
+def activate(spec: str, fault_dir: str, hang_seconds: float | None = None):
+    """Arm the injector for a ``with`` block (test helper).
+
+    Sets the environment variables — the only channel that reaches
+    spawned workers — and restores the previous values on exit.  Pass
+    a fresh ``fault_dir`` per activation: tick markers persist, so a
+    reused dir would continue the previous run's count.
+    """
+    parse_spec(spec)  # fail fast on a typo, before any worker sees it
+    saved = {
+        name: os.environ.get(name) for name in (ENV_SPEC, ENV_DIR, ENV_HANG)
+    }
+    os.environ[ENV_SPEC] = spec
+    os.environ[ENV_DIR] = fault_dir
+    if hang_seconds is not None:
+        os.environ[ENV_HANG] = repr(float(hang_seconds))
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
