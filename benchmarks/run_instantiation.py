@@ -24,7 +24,6 @@ be written to a JSON artifact for CI tracking.
 from __future__ import annotations
 
 import argparse
-import json
 import time
 
 import numpy as np
@@ -33,6 +32,7 @@ from repro.baseline import (
     BaselineInstantiater,
     build_qsearch_ansatz_baseline,
 )
+from repro.checkpoint import atomic_write_json
 from repro.circuit import FIG5_BENCHMARKS, build_qsearch_ansatz, fig5_circuit
 from repro.instantiation import BatchedInstantiater, Instantiater
 
@@ -188,8 +188,9 @@ def fused_eval_suite(calls: int, json_path: str) -> None:
         ),
     }
     if json_path:
-        with open(json_path, "w") as fh:
-            json.dump(report, fh, indent=2)
+        # Atomic write-then-rename: a kill mid-dump must not leave a
+        # truncated artifact for the CI upload to collect.
+        atomic_write_json(json_path, report)
         print(f"wrote {json_path}")
 
 
@@ -326,8 +327,7 @@ def main() -> None:
         )
 
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
+        atomic_write_json(args.json, report)
         print(f"wrote {args.json}")
 
 

@@ -42,6 +42,7 @@ import time
 import numpy as np
 
 from repro import telemetry
+from repro.checkpoint import atomic_write_json, snapshot_count
 from repro.circuit import build_qft_circuit, build_qsearch_ansatz
 from repro.instantiation import Instantiater
 from repro.synthesis import Resynthesizer, SynthesisSearch
@@ -67,7 +68,20 @@ def default_suite(args) -> None:
 
     rows = []
     for k, (name, target) in enumerate(targets):
-        result = search.synthesize(target, rng=k)
+        # Per-target checkpoint directories: snapshots carry a target
+        # fingerprint, so two targets can never share one store.
+        ckpt = (
+            os.path.join(args.checkpoint_dir, name)
+            if args.checkpoint_dir
+            else None
+        )
+        if ckpt and args.resume and snapshot_count(ckpt):
+            result = search.synthesize(target, resume_from=ckpt)
+            if result.resumed_from_round is not None:
+                print(f"{name}: resumed from round "
+                      f"{result.resumed_from_round}")
+        else:
+            result = search.synthesize(target, rng=k, checkpoint_dir=ckpt)
         rows.append({
             "target": name,
             "solved": result.success,
@@ -81,6 +95,7 @@ def default_suite(args) -> None:
             "wall_seconds": result.wall_seconds,
             "workers": result.workers,
             "parallel_efficiency": result.parallel_efficiency,
+            "resumed_from_round": result.resumed_from_round,
         })
         print(f"{name:<12} {str(result.success):>6} "
               f"{result.count('CX'):>3} {result.infidelity:>11.2e} "
@@ -95,9 +110,23 @@ def default_suite(args) -> None:
     compress_target = shallow.get_unitary(
         np.random.default_rng(42).uniform(-np.pi, np.pi, shallow.num_params)
     )
-    compressed = Resynthesizer(
-        starts=args.starts, pool=search.pool, executor=search.executor
-    ).resynthesize(deep, target=compress_target, rng=5)
+    resynth_ckpt = (
+        os.path.join(args.checkpoint_dir, "resynthesis")
+        if args.checkpoint_dir
+        else None
+    )
+    resynth = Resynthesizer(
+        starts=args.starts, pool=search.pool, executor=search.executor,
+        checkpoint_dir=resynth_ckpt,
+    )
+    if resynth_ckpt and args.resume and snapshot_count(resynth_ckpt):
+        compressed = resynth.resynthesize(
+            deep, target=compress_target, resume_from=resynth_ckpt
+        )
+    else:
+        compressed = resynth.resynthesize(
+            deep, target=compress_target, rng=5
+        )
     search.close()
     print(f"\nresynthesis: {deep.num_operations} -> "
           f"{compressed.circuit.num_operations} gates "
@@ -132,8 +161,9 @@ def default_suite(args) -> None:
           f"{report['wall_seconds_total']:.2f}s synthesis wall time")
 
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
+        # Atomic write-then-rename: a kill mid-dump must not leave a
+        # truncated artifact for the CI upload to collect.
+        atomic_write_json(args.json, report)
         print(f"wrote {args.json}")
 
 
@@ -314,8 +344,9 @@ def compare_workers_suite(args, worker_counts: list[int]) -> None:
               "wall-clock speedup needs at least as many cores as workers")
 
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
+        # Atomic write-then-rename: a kill mid-dump must not leave a
+        # truncated artifact for the CI upload to collect.
+        atomic_write_json(args.json, report)
         print(f"wrote {args.json}")
 
 
@@ -400,8 +431,9 @@ def compare_backends_suite(args, backends: list[str]) -> None:
               for r in runs[1:]
           ))
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
+        # Atomic write-then-rename: a kill mid-dump must not leave a
+        # truncated artifact for the CI upload to collect.
+        atomic_write_json(args.json, report)
         print(f"wrote {args.json}")
 
 
@@ -709,8 +741,9 @@ def state_prep_suite(args) -> None:
           f"identical backends={identical_backends}, "
           f"workers={identical_workers}")
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(report, fh, indent=2)
+        # Atomic write-then-rename: a kill mid-dump must not leave a
+        # truncated artifact for the CI upload to collect.
+        atomic_write_json(args.json, report)
         print(f"wrote {args.json}")
 
 
@@ -762,6 +795,21 @@ def main() -> None:
         "BENCH_parallel_synthesis.json)",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        default="",
+        metavar="DIR",
+        help="durable checkpoint/resume for the default suite: each "
+        "target snapshots its round-boundary state into DIR/<target> "
+        "(and the compression leg into DIR/resynthesis)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint-dir: resume each pass from its latest "
+        "valid snapshot (bit-identical to an uninterrupted run; "
+        "already-finished passes return their stored result)",
+    )
+    parser.add_argument(
         "--trace",
         default="",
         metavar="PATH",
@@ -778,6 +826,13 @@ def main() -> None:
     if sum(exclusive) > 1:
         parser.error(
             "--compare-workers, --backends, and --state-prep are exclusive"
+        )
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.checkpoint_dir and any(exclusive):
+        parser.error(
+            "--checkpoint-dir applies to the default suite only (the "
+            "comparison suites re-run passes on purpose)"
         )
     if args.trace:
         telemetry.enable()
@@ -811,8 +866,7 @@ def main() -> None:
             with open(args.json) as fh:
                 report = json.load(fh)
             report["telemetry_metrics"] = metrics
-            with open(args.json, "w") as fh:
-                json.dump(report, fh, indent=2)
+            atomic_write_json(args.json, report)
             print(f"merged {len(metrics)} telemetry metrics "
                   f"into {args.json}")
 

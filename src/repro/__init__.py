@@ -41,7 +41,8 @@ import logging as _logging
 # is set (see repro.telemetry.tracer).
 _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
-from . import telemetry
+from . import checkpoint, telemetry
+from .checkpoint import CheckpointStore, PreemptedError
 from .circuit import (
     FIG5_BENCHMARKS,
     QuditCircuit,
@@ -77,6 +78,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "telemetry",
+    "checkpoint",
+    "CheckpointStore",
+    "PreemptedError",
     "UnitaryExpression",
     "QuditCircuit",
     "TNVM",

@@ -1,0 +1,46 @@
+"""Durable checkpoint/resume for long-running synthesis passes.
+
+The synthesis passes checkpoint their round-boundary state into a
+:class:`CheckpointStore` (atomic write-then-rename snapshots with a
+schema version and content integrity hash), latch SIGTERM/SIGINT via
+:class:`PreemptionGuard` so preemption flushes a final snapshot before
+tearing the worker pool down, and resume with
+``synthesize(resume_from=...)`` — bit-identically, because candidate
+seeds derive from structure keys rather than draw order.
+
+See the README "Checkpoint & resume" section for the knob table and
+resume semantics.
+"""
+
+from .preempt import PreemptedError, PreemptionGuard
+from .state import (
+    PassCheckpointer,
+    config_fingerprint,
+    load_resume_state,
+    target_fingerprint,
+)
+from .store import (
+    SCHEMA_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointSchemaError,
+    CheckpointStore,
+    atomic_write_json,
+    snapshot_count,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointSchemaError",
+    "CheckpointStore",
+    "PassCheckpointer",
+    "PreemptedError",
+    "PreemptionGuard",
+    "atomic_write_json",
+    "config_fingerprint",
+    "load_resume_state",
+    "snapshot_count",
+    "target_fingerprint",
+]

@@ -1,0 +1,92 @@
+"""Cooperative preemption: turn SIGTERM/SIGINT into a clean flush.
+
+Spot-instance reclaims, schedulers, and impatient operators all speak
+the same protocol — a SIGTERM (or Ctrl-C) followed, after a grace
+period, by SIGKILL.  :class:`PreemptionGuard` converts the first
+signal into a *flag* instead of an exception so the synthesis round in
+flight finishes, the pass flushes a final checkpoint at the next round
+boundary, tears its executor down via the abandon path (no joins that
+could outlive the grace period), and raises :class:`PreemptedError`
+with the snapshot path a resume needs.
+
+A second Ctrl-C escalates to an ordinary :class:`KeyboardInterrupt` —
+the operator asked twice; stop immediately.
+"""
+
+from __future__ import annotations
+
+import signal
+
+__all__ = ["PreemptedError", "PreemptionGuard"]
+
+
+class PreemptedError(RuntimeError):
+    """A pass was preempted by a signal after flushing its state.
+
+    ``snapshot_path`` names the final checkpoint (``None`` only when
+    the pass had no checkpoint store to flush to); pass its directory
+    to ``synthesize(resume_from=...)`` to continue bit-identically.
+    """
+
+    def __init__(
+        self,
+        signum: int,
+        round_index: int,
+        snapshot_path: str | None,
+    ):
+        self.signum = signum
+        self.round_index = round_index
+        self.snapshot_path = snapshot_path
+        name = signal.Signals(signum).name
+        where = (
+            f"state flushed to {snapshot_path}; resume with "
+            "resume_from=<checkpoint dir> to continue bit-identically"
+            if snapshot_path is not None
+            else "no checkpoint store configured, progress lost"
+        )
+        super().__init__(
+            f"synthesis pass preempted by {name} after round "
+            f"{round_index}; {where}"
+        )
+
+
+class PreemptionGuard:
+    """Context manager that latches SIGTERM/SIGINT into ``pending``.
+
+    Installs handlers on entry and restores the previous ones on exit.
+    Signal handlers can only be installed from the main thread — when
+    entered anywhere else (or where a signal is unsupported) the guard
+    degrades to an inert flag, which is the right behaviour for passes
+    driven from worker threads of a larger host process.
+    """
+
+    def __init__(self, signals=(signal.SIGTERM, signal.SIGINT)):
+        self._signals = tuple(signals)
+        self._previous: dict[int, object] = {}
+        self._interrupts = 0
+        self.pending: int | None = None
+
+    def _handle(self, signum, frame):
+        if signum == signal.SIGINT:
+            self._interrupts += 1
+            if self._interrupts > 1:
+                raise KeyboardInterrupt
+        self.pending = signum
+
+    def __enter__(self) -> "PreemptionGuard":
+        for signum in self._signals:
+            try:
+                self._previous[signum] = signal.signal(
+                    signum, self._handle
+                )
+            except (ValueError, OSError):
+                pass  # non-main thread / unsupported signal: inert flag
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()

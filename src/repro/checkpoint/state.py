@@ -1,0 +1,214 @@
+"""Pass-side checkpoint plumbing shared by the synthesis passes.
+
+A synthesis pass wires a :class:`PassCheckpointer` between its rounds:
+at every round boundary the checkpointer first checks the
+:class:`~repro.checkpoint.preempt.PreemptionGuard` (SIGTERM/SIGINT →
+flush a final snapshot, abandon the executor, raise
+:class:`~repro.checkpoint.preempt.PreemptedError`), then applies the
+cadence knobs (``every_rounds`` and/or ``every_seconds``) to decide
+whether to write a periodic snapshot.
+
+Snapshots are self-describing: alongside the pass state they carry the
+pass ``kind``, a fingerprint of the synthesis *target*, and a
+fingerprint of the search *configuration*.  :func:`load_resume_state`
+refuses to resume a snapshot whose kind, target, or config differs
+from the caller's — resuming an A* frontier against a different
+unitary (or different heuristic weights) would silently produce a
+wrong-but-plausible circuit, the worst failure mode a resume can have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import numpy as np
+
+from .. import telemetry
+from .preempt import PreemptedError, PreemptionGuard
+from .store import CheckpointError, CheckpointStore
+
+__all__ = [
+    "PassCheckpointer",
+    "config_fingerprint",
+    "load_resume_state",
+    "target_fingerprint",
+]
+
+
+def target_fingerprint(*arrays: np.ndarray, extra=()) -> str:
+    """Content hash of the synthesis target (dtype + shape + bytes).
+
+    ``extra`` admits non-array identity, e.g. a circuit structure key
+    for passes whose target is an input circuit rather than a matrix.
+    """
+    digest = hashlib.sha256()
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(str(arr.dtype).encode())
+        digest.update(repr(arr.shape).encode())
+        digest.update(arr.tobytes())
+    for item in extra:
+        digest.update(repr(item).encode())
+    return digest.hexdigest()
+
+
+def config_fingerprint(**fields) -> str:
+    """Content hash of the knobs that shape a pass's search trajectory.
+
+    Only knobs that change *which states are explored in which order*
+    belong here — worker count and checkpoint cadence explicitly do
+    not, because results are bit-identical across them.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(fields):
+        digest.update(f"{name}={fields[name]!r};".encode())
+    return digest.hexdigest()
+
+
+def load_resume_state(
+    resume_from,
+    *,
+    kind: str,
+    target: str,
+    config: str,
+    keep: int = 3,
+) -> tuple[CheckpointStore, dict, str]:
+    """Open ``resume_from`` and return its newest compatible snapshot.
+
+    ``resume_from`` is a checkpoint directory path or an existing
+    :class:`CheckpointStore`.  Returns ``(store, payload, path)`` so
+    the resumed pass keeps checkpointing into the same store.  Raises
+    :class:`CheckpointError` when no valid snapshot exists or the
+    snapshot belongs to a different pass kind, target, or config.
+    """
+    store = (
+        resume_from
+        if isinstance(resume_from, CheckpointStore)
+        else CheckpointStore(resume_from, keep=keep)
+    )
+    loaded = store.load_latest()
+    if loaded is None:
+        raise CheckpointError(
+            f"resume_from={store.directory!r} holds no valid checkpoint "
+            "snapshot (none written yet, or every snapshot is corrupt)"
+        )
+    payload, path = loaded
+    if payload.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint {path} was written by a "
+            f"{payload.get('kind')!r} pass, not {kind!r}; refusing to "
+            "resume across pass types"
+        )
+    if payload.get("target") != target:
+        raise CheckpointError(
+            f"checkpoint {path} was written for a different synthesis "
+            "target; resuming it here would silently synthesize the "
+            "wrong unitary — point resume_from at the matching "
+            "checkpoint directory or start a fresh pass"
+        )
+    if payload.get("config") != config:
+        raise CheckpointError(
+            f"checkpoint {path} was written under a different search "
+            "configuration (threshold/heuristic/layer/expansion knobs); "
+            "a resumed frontier is only bit-identical under the exact "
+            "configuration that produced it"
+        )
+    telemetry.metrics().counter("checkpoint.resumes").add()
+    telemetry.tracer().instant(
+        "checkpoint.resume", category="checkpoint",
+        kind=kind, round=payload.get("round"),
+    )
+    return store, payload, path
+
+
+class PassCheckpointer:
+    """Round-boundary driver: preemption check + cadence snapshots.
+
+    Enter it as a context manager for the duration of the pass (this
+    installs the signal guard) and call :meth:`round_boundary` between
+    rounds with a zero-argument ``state_fn`` that captures the pass
+    state; the function is only invoked when a snapshot is actually
+    due, so cheap rounds stay cheap.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        *,
+        kind: str,
+        target: str,
+        config: str,
+        every_rounds: int | None = 1,
+        every_seconds: float | None = None,
+        executor=None,
+    ):
+        self.store = store
+        self.kind = kind
+        self.target = target
+        self.config = config
+        self.every_rounds = every_rounds
+        self.every_seconds = every_seconds
+        self.executor = executor
+        self.guard = PreemptionGuard()
+        self._last_write = time.monotonic()
+
+    def __enter__(self) -> "PassCheckpointer":
+        self.guard.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.guard.__exit__(*exc_info)
+
+    def _payload(self, round_index: int, state: dict, complete: bool):
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "config": self.config,
+            "round": round_index,
+            "complete": complete,
+            "state": state,
+        }
+
+    def _due(self, round_index: int) -> bool:
+        if (
+            self.every_rounds is not None
+            and round_index % self.every_rounds == 0
+        ):
+            return True
+        return (
+            self.every_seconds is not None
+            and time.monotonic() - self._last_write >= self.every_seconds
+        )
+
+    def write(self, round_index: int, state: dict) -> str:
+        path = self.store.save(
+            self._payload(round_index, state, complete=False)
+        )
+        self._last_write = time.monotonic()
+        return path
+
+    def round_boundary(self, round_index: int, state_fn) -> None:
+        """Between-rounds hook: flush-and-raise on preemption, else
+        write a periodic snapshot when the cadence says one is due.
+
+        ``round_index`` counts *completed* rounds — the state returned
+        by ``state_fn`` must describe exactly that boundary, so a
+        resume replays no completed work and skips none.
+        """
+        if self.guard.pending is not None:
+            path = self.write(round_index, state_fn())
+            if self.executor is not None:
+                self.executor.abandon()
+            raise PreemptedError(self.guard.pending, round_index, path)
+        if self._due(round_index):
+            self.write(round_index, state_fn())
+
+    def complete(self, round_index: int, result) -> str:
+        """Record the finished pass so a later resume is a no-op that
+        returns the stored result instead of redoing work."""
+        payload = self._payload(round_index, {}, complete=True)
+        payload["result"] = result
+        path = self.store.save(payload)
+        self._last_write = time.monotonic()
+        return path

@@ -485,6 +485,15 @@ class QuditCircuit:
         # The VM's writers index any sequence; no re-tupling needed.
         return vm.evaluate(params).copy()
 
+    def __getstate__(self) -> dict:
+        # Memoized TNVMs hold compiled closures that cannot cross a
+        # pickle boundary (checkpoint snapshots, spawn workers); drop
+        # both caches — they rebuild lazily and deterministically.
+        state = self.__dict__.copy()
+        state["_vm_cache"] = {}
+        state["_structure_cache"] = None
+        return state
+
     def __repr__(self) -> str:
         return (
             f"<QuditCircuit radices={list(self.radices)} "

@@ -204,6 +204,12 @@ class CandidateExecutor:
     def close(self) -> None:
         """Release any worker resources (idempotent)."""
 
+    def abandon(self) -> None:
+        """Tear down without waiting on in-flight work (preemption
+        path: the grace period may not cover a join).  Serial
+        executors have nothing in flight, so this is just close."""
+        self.close()
+
     def __enter__(self) -> "CandidateExecutor":
         return self
 
@@ -742,6 +748,12 @@ class ProcessCandidateExecutor(CandidateExecutor):
             except Exception:
                 pass  # already dead, or never fully started
         executor.shutdown(wait=False, cancel_futures=True)
+
+    def abandon(self) -> None:
+        """Public non-waiting teardown (see :meth:`_abandon`); the
+        checkpoint subsystem's preemption flush calls this so SIGTERM
+        handling never joins possibly-wedged workers."""
+        self._abandon()
 
     def close(self) -> None:
         """Shut the pool down cleanly (idempotent; the executor stays

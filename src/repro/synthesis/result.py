@@ -55,6 +55,10 @@ class SynthesisResult:
     failed_candidates: int = 0
     retries: int = 0
     timed_out: int = 0
+    #: Round boundary this pass was restored from (``None`` for a
+    #: fault-free, single-process run).  Informational only: resumed
+    #: results are bit-identical to uninterrupted ones.
+    resumed_from_round: int | None = None
     #: The merged telemetry-registry delta this pass produced (flat
     #: metric name -> number, or histogram-state dict); includes
     #: metrics shipped back from worker processes.  Empty for results
@@ -139,6 +143,11 @@ class SynthesisResult:
                 f"  degraded: {self.failed_candidates} failed "
                 f"candidate(s), {self.retries} crash retries, "
                 f"{self.timed_out} deadline expiries"
+            )
+        if self.resumed_from_round is not None:
+            lines.append(
+                f"  resumed from round {self.resumed_from_round} "
+                "(bit-identical to an uninterrupted run)"
             )
         if self.windows:
             lines.append(f"  windows: {len(self.windows)}")

@@ -23,18 +23,27 @@ are bit-identical across worker counts.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Sequence
 
 import numpy as np
 
 from .. import telemetry
+from ..checkpoint import (
+    CheckpointStore,
+    PassCheckpointer,
+    config_fingerprint,
+    load_resume_state,
+    target_fingerprint,
+)
 from ..circuit.circuit import Operation, QuditCircuit
 from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
 from ..tensornet.contract import OutputContract
+from ..testing.faults import maybe_fault
 from ..utils.statevector import Statevector
 from ..utils.unitary import hilbert_schmidt_infidelity
 from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
@@ -101,6 +110,10 @@ class Resynthesizer:
         job_timeout: float | None = None,
         round_timeout: float | None = None,
         max_retries: int = 2,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = 1,
+        checkpoint_seconds: float | None = None,
+        checkpoint_keep: int = 3,
     ):
         if scan_order not in SCAN_ORDERS:
             raise ValueError(
@@ -115,6 +128,12 @@ class Resynthesizer:
             raise ValueError("job_timeout must be positive (or None)")
         if round_timeout is not None and round_timeout <= 0:
             raise ValueError("round_timeout must be positive (or None)")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if checkpoint_seconds is not None and checkpoint_seconds <= 0:
+            raise ValueError("checkpoint_seconds must be positive (or None)")
+        if checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
         self.success_threshold = success_threshold
         self.starts = starts
         self.max_passes = max_passes
@@ -125,6 +144,12 @@ class Resynthesizer:
         self.job_timeout = job_timeout
         self.round_timeout = round_timeout
         self.max_retries = max_retries
+        # Durability knobs (see SynthesisSearch): one snapshot per
+        # ``checkpoint_every`` scan waves and/or ``checkpoint_seconds``.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_seconds = checkpoint_seconds
+        self.checkpoint_keep = checkpoint_keep
         self.pool = _resolve_pool(
             pool, success_threshold, strategy, precision, lm_options, backend
         )
@@ -185,12 +210,23 @@ class Resynthesizer:
         ]
         return entangling + singles
 
+    def _config_fingerprint(self) -> str:
+        return config_fingerprint(
+            pass_kind="resynth",
+            success_threshold=self.success_threshold,
+            starts=self.starts,
+            max_passes=self.max_passes,
+            scan_order=self.scan_order,
+            scan_batch=self.scan_batch,
+        )
+
     def resynthesize(
         self,
         circuit: QuditCircuit,
         params: Sequence[float] = (),
         target: np.ndarray | Statevector | None = None,
         rng: np.random.Generator | int | None = None,
+        resume_from: str | CheckpointStore | None = None,
     ) -> SynthesisResult:
         """Compress ``circuit`` while preserving its unitary.
 
@@ -202,6 +238,12 @@ class Resynthesizer:
         kept as long as ``U(theta)|0>`` still reaches the state, a
         strictly weaker constraint than preserving the full unitary —
         so state-prep compression typically deletes more gates.
+
+        With ``checkpoint_dir`` set, the pass snapshots its scan
+        position (compressed circuit so far, next pass/wave) at every
+        wave boundary; ``resume_from`` continues a preempted or killed
+        scan bit-identically — the wave in flight at the kill is
+        re-run, completed waves are not.
         """
         t0 = time.perf_counter()
         params = np.asarray(params, dtype=np.float64)
@@ -216,110 +258,209 @@ class Resynthesizer:
         )
         rng = np.random.default_rng(rng)
         base_seed = int(rng.integers(2**63))
+
+        target_fp = target_fingerprint(
+            target, extra=(circuit.structure_key(),)
+        )
+        config_fp = self._config_fingerprint()
+        store: CheckpointStore | None = None
+        resume_payload: dict | None = None
+        if resume_from is not None:
+            store, payload, _ = load_resume_state(
+                resume_from,
+                kind="resynth",
+                target=target_fp,
+                config=config_fp,
+                keep=self.checkpoint_keep,
+            )
+            if payload["complete"]:
+                return payload["result"]
+            resume_payload = payload
+        elif self.checkpoint_dir is not None:
+            store = CheckpointStore(
+                self.checkpoint_dir, keep=self.checkpoint_keep
+            )
+
         registry = telemetry.metrics()
         metrics0 = registry.snapshot()
         hits0, misses0 = self.pool.hits, self.pool.misses
         counters = _PassCounters()
         executor = self.executor
+        round_index = 0
+        resumed_from: int | None = None
+        ck: PassCheckpointer | None = None
+        if store is not None:
+            ck = PassCheckpointer(
+                store,
+                kind="resynth",
+                target=target_fp,
+                config=config_fp,
+                every_rounds=self.checkpoint_every,
+                every_seconds=self.checkpoint_seconds,
+                executor=executor,
+            )
         resynth_span = telemetry.tracer().span(
             "resynthesize", category="synthesize",
             ops=circuit.num_operations, workers=executor.workers,
         )
 
-        current = circuit.copy()
-        x0 = params if len(params) == current.num_params else None
-        [baseline] = _run_round(
-            executor,
-            [
-                FitJob(
-                    current,
-                    target,
-                    self.starts,
-                    candidate_seed(base_seed, current.structure_key()),
-                    x0,
-                    contract=contract,
-                    timeout=self.job_timeout,
-                )
-            ],
-            counters,
-            round_timeout=self.round_timeout,
-        )
-        cur_params, cur_inf = baseline.params, baseline.infidelity
-
-        improved = cur_inf <= self.success_threshold
-        passes = 0
-        while improved and (
-            self.max_passes is None or passes < self.max_passes
-        ):
-            improved = False
-            passes += 1
-            if current.num_operations <= 1:
-                break
-            order = self._scan_indices(current)
-            batch = self.scan_batch or len(order)
-            for wave_start in range(0, len(order), batch):
-                wave = order[wave_start:wave_start + batch]
-                jobs: list[FitJob] = []
-                candidates: list[QuditCircuit] = []
-                for i in wave:
-                    candidate, kept = current.without_operation(i)
-                    jobs.append(
+        with contextlib.ExitStack() as stack:
+            if ck is not None:
+                stack.enter_context(ck)
+            if resume_payload is not None:
+                state = resume_payload["state"]
+                base_seed = state["base_seed"]
+                current = state["current"]
+                cur_params = state["cur_params"]
+                cur_inf = state["cur_inf"]
+                # Re-enter the interrupted pass at the wave that was in
+                # flight; the while loop's `passes += 1` restores the
+                # stored pass number.
+                passes = state["next_pass"] - 1
+                resume_wave: int | None = state["next_wave"]
+                improved = True
+                round_index = resumed_from = int(resume_payload["round"])
+                counters.calls.add(state["counters"]["calls"])
+                counters.expanded.add(state["counters"]["expanded"])
+                counters.busy.add(state["counters"]["busy"])
+                counters.eval_wall.add(state["counters"]["eval_wall"])
+            else:
+                current = circuit.copy()
+                x0 = params if len(params) == current.num_params else None
+                [baseline] = _run_round(
+                    executor,
+                    [
                         FitJob(
-                            candidate,
+                            current,
                             target,
                             self.starts,
                             candidate_seed(
-                                base_seed, candidate.structure_key()
+                                base_seed, current.structure_key()
                             ),
-                            cur_params[list(kept)],
+                            x0,
                             contract=contract,
                             timeout=self.job_timeout,
                         )
-                    )
-                    candidates.append(candidate)
-                counters.expanded.add(len(wave))
-                outcomes = _run_round(
-                    executor, jobs, counters,
+                    ],
+                    counters,
                     round_timeout=self.round_timeout,
                 )
-                # Accept the first fitting deletion in scan order — the
-                # same winner regardless of how the wave was scheduled.
-                for candidate, outcome in zip(candidates, outcomes):
-                    if outcome.infidelity <= self.success_threshold:
-                        current = candidate
-                        cur_params = outcome.params
-                        cur_inf = outcome.infidelity
-                        improved = True
-                        registry.counter("resynth.deletions_accepted").add()
-                        break
-                if improved:
-                    break  # rescan the shorter circuit
+                cur_params, cur_inf = baseline.params, baseline.infidelity
+                improved = cur_inf <= self.success_threshold
+                passes = 0
+                resume_wave = None
 
-        registry.counter("resynth.passes").add(passes)
-        resynth_span.set(
-            passes=passes, examined=counters.expanded.value
-        )
-        resynth_span.__exit__(None, None, None)
-        pass_metrics = telemetry.delta(metrics0, registry.snapshot())
-        return SynthesisResult(
-            circuit=current,
-            params=cur_params,
-            infidelity=cur_inf,
-            success=cur_inf <= self.success_threshold,
-            instantiation_calls=counters.calls.value,
-            engine_cache_hits=self.pool.hits - hits0,
-            engine_cache_misses=self.pool.misses - misses0,
-            nodes_expanded=counters.expanded.value,
-            wall_seconds=time.perf_counter() - t0,
-            workers=executor.workers,
-            parallel_efficiency=_parallel_efficiency(executor, counters),
-            metrics=pass_metrics,
-            failed_candidates=int(
-                pass_metrics.get("executor.failed_candidates", 0)
-            ),
-            retries=int(pass_metrics.get("executor.retries", 0)),
-            timed_out=int(pass_metrics.get("executor.timeouts", 0)),
-        )
+            next_wave = 0
+
+            def scan_state() -> dict:
+                # The scan's replay point: the compressed circuit so
+                # far plus "next work is wave `next_wave` of pass
+                # `passes`".  Scan order is a pure function of the
+                # circuit, so the resumed pass recomputes it.
+                return {
+                    "base_seed": base_seed,
+                    "current": current,
+                    "cur_params": cur_params,
+                    "cur_inf": cur_inf,
+                    "next_pass": passes,
+                    "next_wave": next_wave,
+                    "counters": {
+                        "calls": counters.calls.value,
+                        "expanded": counters.expanded.value,
+                        "busy": counters.busy.value,
+                        "eval_wall": counters.eval_wall.value,
+                    },
+                }
+
+            while improved and (
+                self.max_passes is None or passes < self.max_passes
+            ):
+                improved = False
+                passes += 1
+                if current.num_operations <= 1:
+                    break
+                order = self._scan_indices(current)
+                batch = self.scan_batch or len(order)
+                first_wave = resume_wave if resume_wave is not None else 0
+                resume_wave = None
+                for wave_start in range(first_wave, len(order), batch):
+                    # Wave boundary: state describes this wave as the
+                    # next work, so a snapshot (or preemption flush)
+                    # here never replays a completed wave.
+                    next_wave = wave_start
+                    maybe_fault("round", key=round_index)
+                    if ck is not None:
+                        ck.round_boundary(round_index, scan_state)
+                    wave = order[wave_start:wave_start + batch]
+                    jobs: list[FitJob] = []
+                    candidates: list[QuditCircuit] = []
+                    for i in wave:
+                        candidate, kept = current.without_operation(i)
+                        jobs.append(
+                            FitJob(
+                                candidate,
+                                target,
+                                self.starts,
+                                candidate_seed(
+                                    base_seed, candidate.structure_key()
+                                ),
+                                cur_params[list(kept)],
+                                contract=contract,
+                                timeout=self.job_timeout,
+                            )
+                        )
+                        candidates.append(candidate)
+                    counters.expanded.add(len(wave))
+                    outcomes = _run_round(
+                        executor, jobs, counters,
+                        round_timeout=self.round_timeout,
+                    )
+                    round_index += 1
+                    # Accept the first fitting deletion in scan order —
+                    # the same winner regardless of how the wave was
+                    # scheduled.
+                    for candidate, outcome in zip(candidates, outcomes):
+                        if outcome.infidelity <= self.success_threshold:
+                            current = candidate
+                            cur_params = outcome.params
+                            cur_inf = outcome.infidelity
+                            improved = True
+                            registry.counter(
+                                "resynth.deletions_accepted"
+                            ).add()
+                            break
+                    if improved:
+                        break  # rescan the shorter circuit
+
+            registry.counter("resynth.passes").add(passes)
+            resynth_span.set(
+                passes=passes, examined=counters.expanded.value
+            )
+            resynth_span.__exit__(None, None, None)
+            pass_metrics = telemetry.delta(metrics0, registry.snapshot())
+            result = SynthesisResult(
+                circuit=current,
+                params=cur_params,
+                infidelity=cur_inf,
+                success=cur_inf <= self.success_threshold,
+                instantiation_calls=counters.calls.value,
+                engine_cache_hits=self.pool.hits - hits0,
+                engine_cache_misses=self.pool.misses - misses0,
+                nodes_expanded=counters.expanded.value,
+                wall_seconds=time.perf_counter() - t0,
+                workers=executor.workers,
+                parallel_efficiency=_parallel_efficiency(executor, counters),
+                metrics=pass_metrics,
+                failed_candidates=int(
+                    pass_metrics.get("executor.failed_candidates", 0)
+                ),
+                retries=int(pass_metrics.get("executor.retries", 0)),
+                timed_out=int(pass_metrics.get("executor.timeouts", 0)),
+                resumed_from_round=resumed_from,
+            )
+            if ck is not None:
+                ck.complete(round_index, result)
+            return result
 
 
 class PartitionedSynthesizer:
@@ -338,11 +479,30 @@ class PartitionedSynthesizer:
         self,
         search: SynthesisSearch | None = None,
         window: int = 3,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = 1,
+        checkpoint_seconds: float | None = None,
+        checkpoint_keep: int = 3,
     ):
         if window < 2:
             raise ValueError("window must span at least 2 qudits")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if checkpoint_seconds is not None and checkpoint_seconds <= 0:
+            raise ValueError("checkpoint_seconds must be positive (or None)")
+        if checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
         self.search = search or SynthesisSearch()
         self.window = window
+        # Durability knobs: one snapshot per ``checkpoint_every``
+        # completed windows and/or ``checkpoint_seconds``; the stitched
+        # prefix is stored, so a resume re-synthesizes at most the
+        # window in flight.  The inner search keeps its own (per-window)
+        # checkpoint knobs if its owner configured any.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_seconds = checkpoint_seconds
+        self.checkpoint_keep = checkpoint_keep
 
     def _partition(
         self, circuit: QuditCircuit
@@ -392,9 +552,17 @@ class PartitionedSynthesizer:
         circuit: QuditCircuit,
         params: Sequence[float] = (),
         rng: np.random.Generator | int | None = None,
+        resume_from: str | CheckpointStore | None = None,
     ) -> SynthesisResult:
         """Re-express ``circuit`` (at ``params``) window by window in
-        the search's gate set."""
+        the search's gate set.
+
+        With ``checkpoint_dir`` set, the stitched prefix and per-window
+        reports are snapshotted after each window; ``resume_from``
+        restores them and re-synthesizes only the window that was in
+        flight (per-window seeds derive from the stored base seed, so
+        the stitched result is bit-identical to an uninterrupted run).
+        """
         t0 = time.perf_counter()
         params = np.asarray(params, dtype=np.float64)
         if len(params) != circuit.num_params:
@@ -408,37 +576,108 @@ class PartitionedSynthesizer:
         # it or on how earlier windows were evaluated.
         base_seed = int(rng.integers(2**63))
 
+        target_fp = target_fingerprint(
+            params, extra=(circuit.structure_key(),)
+        )
+        config_fp = config_fingerprint(
+            pass_kind="partitioned",
+            window=self.window,
+            search=self.search._config_fingerprint(),
+        )
+        store: CheckpointStore | None = None
+        resume_payload: dict | None = None
+        if resume_from is not None:
+            store, payload, _ = load_resume_state(
+                resume_from,
+                kind="partitioned",
+                target=target_fp,
+                config=config_fp,
+                keep=self.checkpoint_keep,
+            )
+            if payload["complete"]:
+                return payload["result"]
+            resume_payload = payload
+        elif self.checkpoint_dir is not None:
+            store = CheckpointStore(
+                self.checkpoint_dir, keep=self.checkpoint_keep
+            )
+        ck: PassCheckpointer | None = None
+        if store is not None:
+            ck = PassCheckpointer(
+                store,
+                kind="partitioned",
+                target=target_fp,
+                config=config_fp,
+                every_rounds=self.checkpoint_every,
+                every_seconds=self.checkpoint_seconds,
+                executor=self.search.executor,
+            )
+
         out = QuditCircuit(circuit.radices)
         out_params: list[float] = []
         windows: list[SynthesisResult] = []
         all_solved = True
-        for index, (wires, ops) in enumerate(self._partition(circuit)):
-            sub = self._block_circuit(circuit, wires, ops, params)
-            with telemetry.tracer().span(
-                "window", category="synthesize",
-                index=index, wires=list(wires), ops=len(ops),
-            ):
-                result = self.search.synthesize(
-                    sub.get_unitary(()),
-                    radices=sub.radices,
-                    rng=candidate_seed(base_seed, ("window", index)),
-                )
-            windows.append(result)
-            if result.success:
-                added = out.append_circuit(result.circuit, location=wires)
-                out_params.extend(result.params[j] for j in added)
-            else:
-                # Fall back to the original gates for this window.
-                all_solved = False
-                for op, sub_op in zip(ops, sub):
-                    ref = out.cache_operation(
-                        circuit.expression(op.ref), check=False
+        next_window = 0
+        resumed_from: int | None = None
+        if resume_payload is not None:
+            state = resume_payload["state"]
+            base_seed = state["base_seed"]
+            out = state["out"]
+            out_params = state["out_params"]
+            windows = state["windows"]
+            all_solved = state["all_solved"]
+            next_window = resumed_from = int(resume_payload["round"])
+
+        def window_state() -> dict:
+            # The stitched prefix is the replay point: windows before
+            # `round` are done (their gates already in `out`), windows
+            # from `round` on have not started.
+            return {
+                "base_seed": base_seed,
+                "out": out,
+                "out_params": list(out_params),
+                "windows": windows,
+                "all_solved": all_solved,
+            }
+
+        blocks = self._partition(circuit)
+        with contextlib.ExitStack() as stack:
+            if ck is not None:
+                stack.enter_context(ck)
+            for index, (wires, ops) in enumerate(blocks):
+                if index < next_window:
+                    continue  # restored from the stitched prefix
+                maybe_fault("round", key=index)
+                if ck is not None:
+                    ck.round_boundary(index, window_state)
+                sub = self._block_circuit(circuit, wires, ops, params)
+                with telemetry.tracer().span(
+                    "window", category="synthesize",
+                    index=index, wires=list(wires), ops=len(ops),
+                ):
+                    result = self.search.synthesize(
+                        sub.get_unitary(()),
+                        radices=sub.radices,
+                        rng=candidate_seed(base_seed, ("window", index)),
                     )
-                    out.append_ref_constant(
-                        ref,
-                        op.location,
-                        [s.value for s in sub_op.slots],
+                windows.append(result)
+                if result.success:
+                    added = out.append_circuit(
+                        result.circuit, location=wires
                     )
+                    out_params.extend(result.params[j] for j in added)
+                else:
+                    # Fall back to the original gates for this window.
+                    all_solved = False
+                    for op, sub_op in zip(ops, sub):
+                        ref = out.cache_operation(
+                            circuit.expression(op.ref), check=False
+                        )
+                        out.append_ref_constant(
+                            ref,
+                            op.location,
+                            [s.value for s in sub_op.slots],
+                        )
 
         final_params = np.asarray(out_params, dtype=np.float64)
         infidelity = (
@@ -457,7 +696,7 @@ class PartitionedSynthesizer:
         merged_metrics = telemetry.MetricsRegistry()
         for w in windows:
             merged_metrics.merge(w.metrics)
-        return SynthesisResult(
+        result = SynthesisResult(
             circuit=out,
             params=final_params,
             infidelity=infidelity,
@@ -481,4 +720,8 @@ class PartitionedSynthesizer:
                 else None
             ),
             metrics=merged_metrics.snapshot(),
+            resumed_from_round=resumed_from,
         )
+        if ck is not None:
+            ck.complete(len(blocks), result)
+        return result

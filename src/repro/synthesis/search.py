@@ -30,6 +30,7 @@ The instantiation inner loop is where the paper's machinery composes:
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import time
 from dataclasses import dataclass
@@ -37,12 +38,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import telemetry
+from ..checkpoint import (
+    CheckpointStore,
+    PassCheckpointer,
+    config_fingerprint,
+    load_resume_state,
+    target_fingerprint,
+)
 from ..circuit.circuit import QuditCircuit
 from ..instantiation.cost import as_target_array
 from ..instantiation.instantiater import SUCCESS_THRESHOLD
 from ..instantiation.lm import LMOptions
 from ..instantiation.pool import EnginePool
 from ..tensornet.contract import OutputContract
+from ..testing.faults import maybe_fault
 from ..utils.statevector import Statevector
 from .executor import CandidateExecutor, FitJob, candidate_seed, make_executor
 from .layers import LayerGenerator, QSearchLayerGenerator
@@ -215,6 +224,18 @@ class SynthesisSearch:
     are excluded from the frontier rather than erroring the pass; the
     result's ``failed_candidates`` / ``retries`` / ``timed_out``
     fields report such degradation.
+
+    Durability: with ``checkpoint_dir`` set, the pass snapshots its
+    round-boundary state (frontier, visited set, best-so-far, base
+    seed, counters) into a :class:`~repro.checkpoint.CheckpointStore`
+    every ``checkpoint_every`` rounds and/or ``checkpoint_seconds``
+    seconds, flushes a final snapshot on SIGTERM/SIGINT (then tears
+    the pool down via the non-waiting abandon path and raises
+    :class:`~repro.checkpoint.PreemptedError`), and resumes with
+    ``synthesize(resume_from=...)``.  Because candidate seeds derive
+    from structure keys, a resumed pass returns a result bit-identical
+    (circuit, params, infidelity, call counts) to an uninterrupted
+    run — only wall-clock and cache-hit accounting differ.
     """
 
     def __init__(
@@ -238,6 +259,10 @@ class SynthesisSearch:
         job_timeout: float | None = None,
         round_timeout: float | None = None,
         max_retries: int = 2,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = 1,
+        checkpoint_seconds: float | None = None,
+        checkpoint_keep: int = 3,
     ):
         if not callable(heuristic) and heuristic not in ("astar", "dijkstra"):
             raise ValueError(
@@ -251,6 +276,12 @@ class SynthesisSearch:
             raise ValueError("job_timeout must be positive (or None)")
         if round_timeout is not None and round_timeout <= 0:
             raise ValueError("round_timeout must be positive (or None)")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        if checkpoint_seconds is not None and checkpoint_seconds <= 0:
+            raise ValueError("checkpoint_seconds must be positive (or None)")
+        if checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1")
         self.layer_generator = layer_generator or QSearchLayerGenerator()
         self.success_threshold = success_threshold
         self.heuristic = heuristic
@@ -266,6 +297,14 @@ class SynthesisSearch:
         self.job_timeout = job_timeout
         self.round_timeout = round_timeout
         self.max_retries = max_retries
+        #: Durability knobs: where round-boundary snapshots go (``None``
+        #: disables checkpointing), how often (rounds and/or seconds —
+        #: whichever fires first), and how many snapshots the store
+        #: retains for corrupt-latest fallback.
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_seconds = checkpoint_seconds
+        self.checkpoint_keep = checkpoint_keep
         #: The engine pool persists across ``synthesize`` calls, so a
         #: search object reused for many targets pays each template
         #: shape's AOT compile once (the Listing 3 amortization).
@@ -325,11 +364,35 @@ class SynthesisSearch:
             return float(layers)
         return layers + self.heuristic_weight * infidelity
 
+    def _config_fingerprint(self) -> str:
+        # Only trajectory-shaping knobs: worker count and checkpoint
+        # cadence are excluded because results are bit-identical
+        # across them.  A callable heuristic hashes by a placeholder
+        # (its repr would embed a memory address and never match).
+        return config_fingerprint(
+            pass_kind="search",
+            success_threshold=self.success_threshold,
+            heuristic=(
+                self.heuristic
+                if isinstance(self.heuristic, str)
+                else "<callable>"
+            ),
+            heuristic_weight=self.heuristic_weight,
+            max_layers=self.max_layers,
+            max_expansions=self.max_expansions,
+            starts=self.starts,
+            warm_start=self.warm_start,
+            expansion_width=self.expansion_width,
+            layer_generator=type(self.layer_generator).__name__,
+        )
+
     def synthesize(
         self,
         target: np.ndarray | Statevector,
         radices: tuple[int, ...] | None = None,
         rng: np.random.Generator | int | None = None,
+        resume_from: str | CheckpointStore | None = None,
+        checkpoint_dir: str | None = None,
     ) -> SynthesisResult:
         """Search for a circuit implementing ``target`` up to global
         phase, to the configured success threshold.
@@ -343,6 +406,17 @@ class SynthesisSearch:
         share the search's engine pool, where engines are keyed by
         (circuit structure, output contract), so column and
         full-unitary engines for the same shape coexist.
+
+        ``checkpoint_dir`` overrides the constructor knob for this
+        call (useful when one search object serves many targets —
+        each target needs its own checkpoint directory).
+        ``resume_from`` (a checkpoint directory or
+        :class:`~repro.checkpoint.CheckpointStore`) restores the
+        newest valid snapshot and continues — bit-identically — from
+        its round boundary, checkpointing onward into the same store;
+        ``rng`` is ignored on resume (the stored base seed governs).
+        Resuming a finished pass returns the stored result without
+        redoing any work.
         """
         t0 = time.perf_counter()
         if isinstance(target, Statevector) and radices is None:
@@ -376,14 +450,54 @@ class SynthesisSearch:
         rng = np.random.default_rng(rng)
         # One base seed per pass; every candidate derives its own seed
         # from this and its structure key, so results do not depend on
-        # the order candidates are drawn or scheduled in.
+        # the order candidates are drawn or scheduled in.  A resume
+        # below overwrites this with the stored seed.
         base_seed = int(rng.integers(2**63))
+
+        target_fp = target_fingerprint(target, extra=(radices,))
+        config_fp = self._config_fingerprint()
+        directory = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else self.checkpoint_dir
+        )
+        store: CheckpointStore | None = None
+        resume_payload: dict | None = None
+        if resume_from is not None:
+            store, payload, _ = load_resume_state(
+                resume_from,
+                kind="search",
+                target=target_fp,
+                config=config_fp,
+                keep=self.checkpoint_keep,
+            )
+            if payload["complete"]:
+                # The pass already finished: a no-op resume returning
+                # the stored result, not a re-run.
+                return payload["result"]
+            resume_payload = payload
+        elif directory is not None:
+            store = CheckpointStore(directory, keep=self.checkpoint_keep)
+
         registry = telemetry.metrics()
         metrics0 = registry.snapshot()
         frontier_depth = registry.histogram("synthesis.frontier_depth")
         hits0, misses0 = self.pool.hits, self.pool.misses
         counters = _PassCounters()
         executor = self.executor
+        round_index = 0
+        resumed_from: int | None = None
+        ck: PassCheckpointer | None = None
+        if store is not None:
+            ck = PassCheckpointer(
+                store,
+                kind="search",
+                target=target_fp,
+                config=config_fp,
+                every_rounds=self.checkpoint_every,
+                every_seconds=self.checkpoint_seconds,
+                executor=executor,
+            )
         pass_span = telemetry.tracer().span(
             "synthesize", category="synthesize",
             dim=int(target.shape[0]), workers=executor.workers,
@@ -395,7 +509,7 @@ class SynthesisSearch:
             )
             pass_span.__exit__(None, None, None)
             pass_metrics = telemetry.delta(metrics0, registry.snapshot())
-            return SynthesisResult(
+            result = SynthesisResult(
                 circuit=node.circuit,
                 params=node.params,
                 infidelity=node.infidelity,
@@ -413,119 +527,183 @@ class SynthesisSearch:
                 ),
                 retries=int(pass_metrics.get("executor.retries", 0)),
                 timed_out=int(pass_metrics.get("executor.timeouts", 0)),
+                resumed_from_round=resumed_from,
             )
+            if ck is not None:
+                ck.complete(round_index, result)
+            return result
 
-        root_circuit = self.layer_generator.initial(radices)
-        [root_outcome] = _run_round(
-            executor,
-            [
-                FitJob(
-                    root_circuit,
-                    target,
-                    self.starts,
-                    candidate_seed(base_seed, root_circuit.structure_key()),
-                    contract=contract,
-                    timeout=self.job_timeout,
-                )
-            ],
-            counters,
-            round_timeout=self.round_timeout,
-        )
-        root = _Node(
-            root_circuit, root_outcome.params, root_outcome.infidelity, 0
-        )
-        if root.infidelity <= self.success_threshold:
-            return finish(root, True)
+        def search_state() -> dict:
+            # Everything a resume needs to replay the loop from this
+            # round boundary: the heap is stored verbatim (it already
+            # satisfies the heap invariant, so pops replay identically)
+            # and counters are stored as totals, restored via add()
+            # into the new process's child counters.
+            return {
+                "base_seed": base_seed,
+                "tick": tick,
+                "visited": visited,
+                "frontier": frontier,
+                "best": best,
+                "counters": {
+                    "calls": counters.calls.value,
+                    "expanded": counters.expanded.value,
+                    "busy": counters.busy.value,
+                    "eval_wall": counters.eval_wall.value,
+                },
+            }
 
-        best = root
-        visited = {root_circuit.structure_key()}
-        tick = 0  # FIFO tiebreak keeps the heap deterministic
-        # A failed root (quarantined/timed out: infinite infidelity)
-        # still seeds the frontier — its successors may fit fine — but
-        # failed *candidates* below never re-enter it.
-        frontier: list[tuple[float, int, _Node]] = [
-            (self._priority(root.infidelity, 0), tick, root)
-        ]
-        while frontier and counters.expanded.value < self.max_expansions:
-            frontier_depth.observe(len(frontier))
-            # Assemble one round: up to expansion_width frontier pops
-            # (bounded by the remaining expansion budget), skipping
-            # nodes already at the depth cap.
-            width = min(
-                self.expansion_width,
-                self.max_expansions - counters.expanded.value,
-            )
-            parents: list[_Node] = []
-            while frontier and len(parents) < width:
-                _, _, node = heapq.heappop(frontier)
-                if node.layers >= self.max_layers:
-                    continue
-                parents.append(node)
-            if not parents:
-                break
-            counters.expanded.add(len(parents))
-
-            jobs: list[FitJob] = []
-            meta: list[tuple[QuditCircuit, _Node]] = []
-            for node in parents:
-                for child in self.layer_generator.successors(node.circuit):
-                    key = child.structure_key()
-                    if key in visited:
-                        continue  # same template shape already instantiated
-                    visited.add(key)
-                    x0 = None
-                    if (
-                        self.warm_start
-                        and child.num_params >= len(node.params)
-                    ):
-                        # Seed start 0 at the parent optimum, new gates
-                        # at zero (identity for the default singles).
-                        x0 = np.concatenate(
-                            [node.params,
-                             np.zeros(child.num_params - len(node.params))]
-                        )
-                    jobs.append(
+        with contextlib.ExitStack() as stack:
+            if ck is not None:
+                stack.enter_context(ck)
+            if resume_payload is not None:
+                state = resume_payload["state"]
+                base_seed = state["base_seed"]
+                tick = state["tick"]
+                visited = state["visited"]
+                frontier = state["frontier"]
+                best = state["best"]
+                round_index = resumed_from = int(resume_payload["round"])
+                counters.calls.add(state["counters"]["calls"])
+                counters.expanded.add(state["counters"]["expanded"])
+                counters.busy.add(state["counters"]["busy"])
+                counters.eval_wall.add(state["counters"]["eval_wall"])
+            else:
+                root_circuit = self.layer_generator.initial(radices)
+                [root_outcome] = _run_round(
+                    executor,
+                    [
                         FitJob(
-                            child,
+                            root_circuit,
                             target,
                             self.starts,
-                            candidate_seed(base_seed, key),
-                            x0,
+                            candidate_seed(
+                                base_seed, root_circuit.structure_key()
+                            ),
                             contract=contract,
                             timeout=self.job_timeout,
                         )
-                    )
-                    meta.append((child, node))
+                    ],
+                    counters,
+                    round_timeout=self.round_timeout,
+                )
+                root = _Node(
+                    root_circuit,
+                    root_outcome.params,
+                    root_outcome.infidelity,
+                    0,
+                )
+                if root.infidelity <= self.success_threshold:
+                    return finish(root, True)
 
-            # The whole round evaluates as one batch (concurrently when
-            # workers > 1); outcomes are then scanned in deterministic
-            # job order, so the first success is the same no matter how
-            # the batch was scheduled.
-            outcomes = _run_round(
-                executor, jobs, counters, round_timeout=self.round_timeout
-            )
-            for (child, parent), outcome in zip(meta, outcomes):
-                if outcome.failed:
-                    # Quarantined / timed-out / non-finite candidates
-                    # never join the frontier: an infinite-infidelity
-                    # node would only waste an expansion, and its
-                    # zeroed parameters must not warm-start children.
-                    continue
-                child_node = _Node(
-                    child, outcome.params, outcome.infidelity,
-                    parent.layers + 1,
+                best = root
+                visited = {root_circuit.structure_key()}
+                tick = 0  # FIFO tiebreak keeps the heap deterministic
+                # A failed root (quarantined/timed out: infinite
+                # infidelity) still seeds the frontier — its successors
+                # may fit fine — but failed *candidates* below never
+                # re-enter it.
+                frontier: list[tuple[float, int, _Node]] = [
+                    (self._priority(root.infidelity, 0), tick, root)
+                ]
+            while frontier and counters.expanded.value < self.max_expansions:
+                # Round boundary: the state is exactly "round_index
+                # rounds completed", so a snapshot here replays no
+                # finished work.  The fault point lets chaos tests
+                # deliver a SIGTERM at a chosen round.
+                maybe_fault("round", key=round_index)
+                if ck is not None:
+                    ck.round_boundary(round_index, search_state)
+                frontier_depth.observe(len(frontier))
+                # Assemble one round: up to expansion_width frontier
+                # pops (bounded by the remaining expansion budget),
+                # skipping nodes already at the depth cap.
+                width = min(
+                    self.expansion_width,
+                    self.max_expansions - counters.expanded.value,
                 )
-                if outcome.infidelity <= self.success_threshold:
-                    return finish(child_node, True)
-                if outcome.infidelity < best.infidelity:
-                    best = child_node
-                tick += 1
-                heapq.heappush(
-                    frontier,
-                    (
-                        self._priority(outcome.infidelity, child_node.layers),
-                        tick,
-                        child_node,
-                    ),
+                parents: list[_Node] = []
+                while frontier and len(parents) < width:
+                    _, _, node = heapq.heappop(frontier)
+                    if node.layers >= self.max_layers:
+                        continue
+                    parents.append(node)
+                if not parents:
+                    break
+                counters.expanded.add(len(parents))
+
+                jobs: list[FitJob] = []
+                meta: list[tuple[QuditCircuit, _Node]] = []
+                for node in parents:
+                    for child in self.layer_generator.successors(
+                        node.circuit
+                    ):
+                        key = child.structure_key()
+                        if key in visited:
+                            continue  # template shape already instantiated
+                        visited.add(key)
+                        x0 = None
+                        if (
+                            self.warm_start
+                            and child.num_params >= len(node.params)
+                        ):
+                            # Seed start 0 at the parent optimum, new
+                            # gates at zero (identity for the default
+                            # singles).
+                            x0 = np.concatenate(
+                                [
+                                    node.params,
+                                    np.zeros(
+                                        child.num_params - len(node.params)
+                                    ),
+                                ]
+                            )
+                        jobs.append(
+                            FitJob(
+                                child,
+                                target,
+                                self.starts,
+                                candidate_seed(base_seed, key),
+                                x0,
+                                contract=contract,
+                                timeout=self.job_timeout,
+                            )
+                        )
+                        meta.append((child, node))
+
+                # The whole round evaluates as one batch (concurrently
+                # when workers > 1); outcomes are then scanned in
+                # deterministic job order, so the first success is the
+                # same no matter how the batch was scheduled.
+                outcomes = _run_round(
+                    executor, jobs, counters, round_timeout=self.round_timeout
                 )
-        return finish(best, best.infidelity <= self.success_threshold)
+                round_index += 1
+                for (child, parent), outcome in zip(meta, outcomes):
+                    if outcome.failed:
+                        # Quarantined / timed-out / non-finite
+                        # candidates never join the frontier: an
+                        # infinite-infidelity node would only waste an
+                        # expansion, and its zeroed parameters must not
+                        # warm-start children.
+                        continue
+                    child_node = _Node(
+                        child, outcome.params, outcome.infidelity,
+                        parent.layers + 1,
+                    )
+                    if outcome.infidelity <= self.success_threshold:
+                        return finish(child_node, True)
+                    if outcome.infidelity < best.infidelity:
+                        best = child_node
+                    tick += 1
+                    heapq.heappush(
+                        frontier,
+                        (
+                            self._priority(
+                                outcome.infidelity, child_node.layers
+                            ),
+                            tick,
+                            child_node,
+                        ),
+                    )
+            return finish(best, best.infidelity <= self.success_threshold)

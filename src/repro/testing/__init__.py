@@ -2,21 +2,27 @@
 
 Currently home to :mod:`repro.testing.faults`, the fault injector the
 chaos suite uses to prove the executor's crash/hang/NaN recovery paths
-are deterministic and result-preserving.
+are deterministic and result-preserving, plus :func:`run_and_kill`,
+the parent-kill harness the checkpoint/resume suite uses to exercise
+real process death.
 """
 
 from .faults import (
     FaultSpec,
+    KillReport,
     activate,
     active_spec,
     maybe_fault,
     parse_spec,
+    run_and_kill,
 )
 
 __all__ = [
     "FaultSpec",
+    "KillReport",
     "activate",
     "active_spec",
     "maybe_fault",
     "parse_spec",
+    "run_and_kill",
 ]

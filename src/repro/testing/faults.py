@@ -10,12 +10,20 @@ variable (inherited by ``spawn``/``forkserver`` children created after
 it is set) to decide whether this particular hit should crash, hang,
 or corrupt.
 
-Spec grammar (``REPRO_FAULT=<kind>:<selector>``):
+Spec grammar (``REPRO_FAULT=<kind>[@<point>]:<selector>``):
 
 * kind — ``crash`` (``os._exit``, **worker processes only**; inert in
   the main process so a serial fallback cannot kill the parent),
-  ``hang`` (sleep ``REPRO_FAULT_HANG`` seconds, default 3600), or
-  ``nan`` (returned to the caller, which corrupts its own numbers);
+  ``hang`` (sleep ``REPRO_FAULT_HANG`` seconds, default 3600),
+  ``nan`` (returned to the caller, which corrupts its own numbers), or
+  ``sigterm`` (``os.kill(getpid(), SIGTERM)``, **main process only** —
+  the mirror asymmetry of ``crash`` — used to provoke the checkpoint
+  subsystem's preemption flush);
+* point — which :func:`maybe_fault` call site the spec arms; defaults
+  to ``worker_fit`` (the executor's per-candidate hook, preserving the
+  pre-point grammar).  The synthesis passes expose ``round`` at their
+  round boundaries.  Hits at non-matching points neither fire nor
+  claim ticks;
 * selector — which hits fire:
 
   - ``always`` — every hit;
@@ -42,16 +50,19 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 __all__ = [
     "FaultSpec",
+    "KillReport",
     "parse_spec",
     "active_spec",
     "maybe_fault",
     "activate",
+    "run_and_kill",
     "ENV_SPEC",
     "ENV_DIR",
     "ENV_HANG",
@@ -63,7 +74,11 @@ ENV_DIR = "REPRO_FAULT_DIR"
 ENV_HANG = "REPRO_FAULT_HANG"
 ENV_EXIT = "REPRO_FAULT_EXIT"
 
-KINDS = ("crash", "hang", "nan")
+KINDS = ("crash", "hang", "nan", "sigterm")
+
+#: The fault point armed when a spec names none (the executor's
+#: per-candidate hook, matching the pre-point spec grammar).
+DEFAULT_POINT = "worker_fit"
 
 #: Process-local tick counter, used only when no fault dir is set.
 _local_ticks = 0
@@ -78,6 +93,8 @@ class FaultSpec:
     selector: str
     #: first N / tick N / seed K (unused for "always")
     value: int = 0
+    #: The :func:`maybe_fault` call site this spec arms.
+    point: str = DEFAULT_POINT
 
     def needs_tick(self) -> bool:
         return self.selector in ("first", "tick")
@@ -97,23 +114,25 @@ def parse_spec(text: str | None) -> FaultSpec | None:
     """Parse a ``REPRO_FAULT`` value; ``None``/empty disables."""
     if not text:
         return None
-    kind, _, selector = text.partition(":")
+    head, _, selector = text.partition(":")
+    kind, _, point = head.partition("@")
+    point = point or DEFAULT_POINT
     if kind not in KINDS:
         raise ValueError(
             f"unknown fault kind {kind!r}; expected one of {KINDS}"
         )
     selector = selector or "once"
     if selector == "always":
-        return FaultSpec(kind, "always")
+        return FaultSpec(kind, "always", point=point)
     if selector == "once":
-        return FaultSpec(kind, "first", 1)
+        return FaultSpec(kind, "first", 1, point=point)
     for prefix in ("first", "tick", "seed"):
         if selector.startswith(prefix):
             try:
                 value = int(selector[len(prefix):])
             except ValueError:
                 break
-            return FaultSpec(kind, prefix, value)
+            return FaultSpec(kind, prefix, value, point=point)
     raise ValueError(
         f"unknown fault selector {selector!r}; expected always/once/"
         "first<N>/tick<N>/seed<K>"
@@ -169,7 +188,9 @@ def maybe_fault(point: str, key: object = None) -> str | None:
     Returns the kind that fired for soft faults, else ``None``.
     """
     spec = active_spec()
-    if spec is None:
+    if spec is None or spec.point != point:
+        # A non-matching point must not claim ticks: a parent-side
+        # "round" hit consuming "once" would defuse a worker spec.
         return None
     tick = (
         _claim_tick(os.environ.get(ENV_DIR)) if spec.needs_tick() else None
@@ -182,6 +203,10 @@ def maybe_fault(point: str, key: object = None) -> str | None:
         return None
     if spec.kind == "hang":
         time.sleep(float(os.environ.get(ENV_HANG, "3600")))
+        return None
+    if spec.kind == "sigterm":
+        if not _in_worker_process():
+            os.kill(os.getpid(), signal.SIGTERM)
         return None
     return spec.kind
 
@@ -211,3 +236,75 @@ def activate(spec: str, fault_dir: str, hang_seconds: float | None = None):
                 os.environ.pop(name, None)
             else:
                 os.environ[name] = value
+
+
+@dataclass(frozen=True)
+class KillReport:
+    """What :func:`run_and_kill` observed."""
+
+    #: ``Process.exitcode`` after the run (negative = killed by signal).
+    exitcode: int | None
+    #: True when the harness delivered its signal (the pass was still
+    #: running once the snapshot threshold was reached).
+    killed: bool
+    #: Checkpoint snapshots present in ``watch_dir`` afterwards.
+    snapshots: int
+
+
+def run_and_kill(
+    target,
+    args=(),
+    *,
+    watch_dir: str,
+    snapshots: int = 1,
+    kill_signal: int = signal.SIGKILL,
+    poll_seconds: float = 0.05,
+    timeout: float = 300.0,
+    mp_context: str = "spawn",
+) -> KillReport:
+    """Run ``target(*args)`` in a subprocess and kill it mid-pass.
+
+    The harness polls ``watch_dir`` until at least ``snapshots``
+    checkpoint snapshot files exist — proof the pass is past its first
+    round boundary — then delivers ``kill_signal`` (default SIGKILL,
+    real unblockable process death, not a simulated exception) and
+    reaps the subprocess.  ``target`` must be a module-level callable
+    (it crosses a ``spawn`` pickle boundary).
+
+    The kill races the pass by design: the victim may die mid-round,
+    mid-snapshot-write, or even after finishing.  Every outcome must
+    leave ``watch_dir`` resumable — that is the property under test.
+    Raises :class:`TimeoutError` if the subprocess neither reaches the
+    snapshot threshold nor exits within ``timeout`` seconds.
+    """
+    from ..checkpoint import snapshot_count
+
+    ctx = multiprocessing.get_context(mp_context)
+    proc = ctx.Process(target=target, args=tuple(args))
+    proc.start()
+    killed = False
+    deadline = time.monotonic() + timeout
+    try:
+        while proc.is_alive():
+            if snapshot_count(watch_dir) >= snapshots:
+                os.kill(proc.pid, kill_signal)
+                killed = True
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"subprocess produced fewer than {snapshots} "
+                    f"snapshot(s) in {watch_dir} within {timeout}s"
+                )
+            time.sleep(poll_seconds)
+        proc.join(timeout)
+        if proc.is_alive():
+            raise TimeoutError("killed subprocess failed to exit")
+    finally:
+        if proc.is_alive():
+            proc.kill()
+            proc.join(10.0)
+    return KillReport(
+        exitcode=proc.exitcode,
+        killed=killed,
+        snapshots=snapshot_count(watch_dir),
+    )

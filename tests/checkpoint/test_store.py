@@ -1,0 +1,138 @@
+"""CheckpointStore: atomic snapshots, integrity fallback, pruning."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointSchemaError,
+    CheckpointStore,
+    atomic_write_json,
+    snapshot_count,
+)
+
+
+def listing(directory):
+    return sorted(os.listdir(directory))
+
+
+class TestSave:
+    def test_snapshot_names_and_no_temp_leftovers(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.save({"round": 1})
+        assert os.path.basename(path) == "ckpt-00000001.rpck"
+        store.save({"round": 2})
+        assert listing(tmp_path) == [
+            "ckpt-00000001.rpck", "ckpt-00000002.rpck"
+        ]  # no .tmp-* files survive a successful save
+
+    def test_keep_prunes_oldest(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), keep=2)
+        for i in range(5):
+            store.save({"round": i})
+        assert listing(tmp_path) == [
+            "ckpt-00000004.rpck", "ckpt-00000005.rpck"
+        ]
+        state, _ = store.load_latest()
+        assert state["round"] == 4
+
+    def test_sequence_continues_after_reopen(self, tmp_path):
+        CheckpointStore(str(tmp_path)).save({"round": 0})
+        path = CheckpointStore(str(tmp_path)).save({"round": 1})
+        assert os.path.basename(path) == "ckpt-00000002.rpck"
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path), keep=0)
+
+    def test_write_telemetry(self, tmp_path):
+        before = telemetry.metrics().snapshot()
+        CheckpointStore(str(tmp_path)).save({"x": np.arange(4)})
+        delta = telemetry.delta(before, telemetry.metrics().snapshot())
+        assert delta.get("checkpoint.writes") == 1
+        assert delta.get("checkpoint.bytes", 0) > 0
+
+
+class TestLoadLatest:
+    def test_round_trips_numpy_state(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"params": np.linspace(0, 1, 7), "tick": 3})
+        state, path = store.load_latest()
+        assert state["tick"] == 3
+        np.testing.assert_array_equal(
+            state["params"], np.linspace(0, 1, 7)
+        )
+        assert os.path.isabs(path)
+
+    def test_empty_directory_is_none(self, tmp_path):
+        assert CheckpointStore(str(tmp_path)).load_latest() is None
+
+    def test_corrupt_latest_falls_back_to_previous(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"round": 1})
+        latest = store.save({"round": 2})
+        with open(latest, "r+b") as fh:
+            fh.seek(48)
+            fh.write(b"\xff\xff\xff")
+        before = telemetry.metrics().snapshot()
+        state, path = store.load_latest()
+        assert state["round"] == 1
+        assert path.endswith("ckpt-00000001.rpck")
+        delta = telemetry.delta(before, telemetry.metrics().snapshot())
+        assert delta.get("checkpoint.fallbacks") == 1
+
+    def test_truncated_latest_falls_back(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"round": 1})
+        latest = store.save({"round": 2})
+        with open(latest, "r+b") as fh:
+            fh.truncate(10)  # shorter than the envelope header
+        state, _ = store.load_latest()
+        assert state["round"] == 1
+
+    def test_every_snapshot_corrupt_is_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for i in range(2):
+            path = store.save({"round": i})
+            with open(path, "r+b") as fh:
+                fh.truncate(5)
+        assert store.load_latest() is None
+
+    def test_foreign_file_is_skipped_not_decoded(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save({"round": 1})
+        bogus = tmp_path / "ckpt-00000002.rpck"
+        bogus.write_bytes(b"NOPE" + pickle.dumps({"round": 99}))
+        state, _ = store.load_latest()
+        assert state["round"] == 1
+
+    def test_schema_mismatch_is_a_pointed_error(self, tmp_path):
+        CheckpointStore(str(tmp_path), schema=SCHEMA_VERSION + 1).save(
+            {"round": 9}
+        )
+        with pytest.raises(CheckpointSchemaError, match="schema version"):
+            CheckpointStore(str(tmp_path)).load_latest()
+
+
+class TestHelpers:
+    def test_snapshot_count(self, tmp_path):
+        assert snapshot_count(str(tmp_path / "missing")) == 0
+        store = CheckpointStore(str(tmp_path))
+        assert snapshot_count(str(tmp_path)) == 0
+        store.save({})
+        store.save({})
+        (tmp_path / "unrelated.json").write_text("{}")
+        assert snapshot_count(str(tmp_path)) == 2
+
+    def test_atomic_write_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "BENCH_x.json"
+        atomic_write_json(str(path), {"a": 1})
+        atomic_write_json(str(path), {"a": 2})  # overwrite in place
+        assert json.loads(path.read_text()) == {"a": 2}
+        assert listing(tmp_path) == ["BENCH_x.json"]

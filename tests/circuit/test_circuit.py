@@ -166,3 +166,25 @@ class TestGetUnitary:
         a = circ.get_unitary([0.1])
         b = circ.get_unitary([0.9])
         assert not np.allclose(a, b)  # a is an independent copy
+
+
+class TestPickle:
+    def test_evaluated_circuit_round_trips(self):
+        """A circuit with a warm TNVM memo must still pickle (the memo
+        holds compiled closures, which are dropped and rebuilt lazily)
+        — checkpoint snapshots and spawn workers both cross this
+        boundary."""
+        import pickle
+
+        circ = QuditCircuit.qubits(1)
+        rx = circ.cache_operation(gates.rx())
+        circ.append_ref(rx, 0)
+        u_before = circ.get_unitary([0.3])
+        assert len(circ._vm_cache) == 1  # memo is warm
+
+        clone = pickle.loads(pickle.dumps(circ))
+        assert clone._vm_cache == {}
+        assert clone.structure_key() == circ.structure_key()
+        np.testing.assert_array_equal(clone.get_unitary([0.3]), u_before)
+        # The original keeps its warm memo.
+        assert len(circ._vm_cache) == 1

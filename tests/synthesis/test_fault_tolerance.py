@@ -16,6 +16,7 @@ a per-test ``tmp_path`` make "fail exactly once" exact across
 processes.
 """
 
+import signal
 import time
 
 import numpy as np
@@ -116,6 +117,65 @@ class TestFaultSpec:
         # safety property): in the main process it is a no-op.
         with faults.activate("crash:always", str(tmp_path)):
             assert faults.maybe_fault("worker_fit", key=1) is None
+
+    def test_point_grammar(self):
+        # Pointless specs keep the pre-point default (worker_fit).
+        assert faults.parse_spec("crash").point == faults.DEFAULT_POINT
+        assert faults.parse_spec("sigterm@round:seed2") == faults.FaultSpec(
+            "sigterm", "seed", 2, "round"
+        )
+        assert faults.parse_spec("nan@round:once") == faults.FaultSpec(
+            "nan", "first", 1, "round"
+        )
+        with pytest.raises(ValueError):
+            faults.parse_spec("boom@round:once")
+
+    def test_non_matching_point_does_not_claim_ticks(self, tmp_path):
+        # A hit at the wrong point must neither fire nor consume the
+        # one tick a `once` spec has — otherwise arming a round-level
+        # fault would be defused by the first worker-level hit.
+        with faults.activate("nan@round:once", str(tmp_path)):
+            assert faults.maybe_fault("worker_fit", key=1) is None
+            assert faults.maybe_fault("round", key=1) == "nan"
+
+    def test_sigterm_fires_in_main_process_only(self, tmp_path):
+        # The mirror asymmetry of crash: sigterm targets the *parent*
+        # (provoking the checkpoint preemption flush).  Latch it with
+        # the guard so the test process survives the signal.
+        from repro.checkpoint import PreemptionGuard
+
+        with faults.activate("sigterm:once", str(tmp_path)):
+            with PreemptionGuard() as guard:
+                assert faults.maybe_fault("worker_fit", key=1) is None
+                assert guard.pending == signal.SIGTERM
+
+
+def _snapshot_writer(directory):
+    """run_and_kill victim: snapshots forever until killed."""
+    from repro.checkpoint import CheckpointStore
+
+    store = CheckpointStore(directory, keep=10)
+    for i in range(10_000):
+        store.save({"round": i})
+        time.sleep(0.05)
+
+
+class TestRunAndKill:
+    def test_kills_once_snapshots_appear(self, tmp_path):
+        d = str(tmp_path / "ckpt")
+        report = faults.run_and_kill(
+            _snapshot_writer, (d,), watch_dir=d, snapshots=2
+        )
+        assert report.killed
+        assert report.exitcode == -signal.SIGKILL
+        assert report.snapshots >= 2
+
+    def test_times_out_when_no_snapshots_appear(self, tmp_path):
+        d = str(tmp_path / "never")
+        with pytest.raises(TimeoutError):
+            faults.run_and_kill(
+                time.sleep, (30,), watch_dir=d, timeout=1.0
+            )
 
 
 # ----------------------------------------------------------------------
