@@ -10,6 +10,8 @@ Usage::
         --json BENCH_multistart.json                     # emit artifact
     python benchmarks/run_instantiation.py --fused-eval \
         --json BENCH_fused_eval.json                     # backend compare
+    python benchmarks/run_instantiation.py --verify-overhead \
+        --json BENCH_verify.json                         # verifier cost
 
 For every Figure 5 benchmark circuit this prints the mean wall-clock
 instantiation time for OpenQudit (AOT included) and the baseline
@@ -194,6 +196,135 @@ def fused_eval_suite(calls: int, json_path: str) -> None:
         print(f"wrote {json_path}")
 
 
+def verify_overhead_suite(trials: int, json_path: str) -> None:
+    """Cost of static verification on the engine-compilation path.
+
+    Builds every Figure 5 engine ``trials`` times with the
+    ``repro.analysis`` verifier off and again with it on
+    (``REPRO_VERIFY=1``), recording the per-build ``aot_seconds`` each
+    engine reports into two telemetry histograms.  The timed region is
+    the steady state synthesis lives in — the process-wide caches (QGL
+    expression JIT, kernel-lint clean-source memo) are warmed outside
+    the timer, exactly like the figure suite warms the
+    ExpressionCache — and the one-time cold cost of verifying each
+    unique program/kernel is measured directly and reported as its own
+    histogram.  The artifact carries all three histograms, the
+    steady-state overhead fraction (acceptance bar: < 5%), and the
+    ``analysis.*`` counters the verified pass accumulated.
+    """
+    import os
+
+    from repro import telemetry
+    from repro.analysis import verify_kernel, verify_program
+    from repro.tnvm.fused import fused_kernel_for
+
+    registry = telemetry.metrics()
+    hists = {
+        "off": registry.histogram("bench.aot_seconds.verify_off"),
+        "on": registry.histogram("bench.aot_seconds.verify_on"),
+    }
+    cold = registry.histogram("bench.analysis_cold_seconds")
+    names = list(FIG5_BENCHMARKS)
+
+    # Warm the process-wide ExpressionCache so neither mode pays the
+    # one-time JIT of the QGL expressions inside its timed region.
+    engines = {name: Instantiater(fig5_circuit(name)) for name in names}
+
+    # One-time cost: verify each unique program and lint each unique
+    # kernel once, cold.  This doubles as the warm-up of the lint's
+    # clean-source memo for the steady-state pass below.
+    for name, engine in engines.items():
+        program = engine.program
+        t0 = time.perf_counter()
+        verify_program(program).raise_if_failed()
+        cold.observe(time.perf_counter() - t0)
+        vm = engine.vm
+        if getattr(vm, "fused_kernel", None) is not None:
+            kernel = fused_kernel_for(
+                program, vm.compiled, grad=True, batched=False
+            )
+            t0 = time.perf_counter()
+            verify_kernel(kernel).raise_if_failed()
+            cold.observe(time.perf_counter() - t0)
+
+    samples: dict[tuple[str, str], list[float]] = {}
+    saved = os.environ.get("REPRO_VERIFY")
+    try:
+        # Interleave the two modes within each trial so slow drift
+        # (cache pressure, CPU frequency) cancels out of the ratio.
+        for _ in range(trials):
+            for mode, env in (("off", "0"), ("on", "1")):
+                os.environ["REPRO_VERIFY"] = env
+                for name in names:
+                    circ = fig5_circuit(name)
+                    engine = Instantiater(circ)
+                    hists[mode].observe(engine.aot_seconds)
+                    samples.setdefault((mode, name), []).append(
+                        engine.aot_seconds
+                    )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_VERIFY", None)
+        else:
+            os.environ["REPRO_VERIFY"] = saved
+
+    off = hists["off"].state()
+    on = hists["on"].state()
+    # Headline overhead from per-circuit medians (the circuits span an
+    # order of magnitude in build time, so a pooled median is
+    # multimodal, and single-build timings have heavy outlier tails):
+    # median over trials for each (circuit, mode), then compare the
+    # suite totals.
+    med = {
+        mode: sum(
+            float(np.median(samples[(mode, name)])) for name in names
+        )
+        for mode in ("off", "on")
+    }
+    overhead = med["on"] / med["off"] - 1.0
+    overhead_mean = on["mean"] / off["mean"] - 1.0
+    counters = {
+        name: value
+        for name, value in registry.snapshot().items()
+        if name.startswith("analysis.")
+    }
+
+    print(f"verify-overhead: {trials} builds x {len(names)} circuits "
+          f"per mode\n")
+    print(f"{'mode':<10} {'builds':>7} {'suite med(ms)':>14} "
+          f"{'mean(ms)':>10} {'min(ms)':>9} {'max(ms)':>9}")
+    for mode, state in (("off", off), ("on", on)):
+        print(f"{mode:<10} {state['count']:>7} "
+              f"{med[mode] * 1e3:>14.2f} {state['mean'] * 1e3:>10.2f} "
+              f"{state['min'] * 1e3:>9.2f} {state['max'] * 1e3:>9.2f}")
+    print(f"\nsteady-state verification overhead: {overhead:+.2%} of "
+          f"the suite's median aot_seconds (acceptance bar < 5%; "
+          f"mean-based {overhead_mean:+.2%})")
+    print(f"one-time cold verify/lint: {cold.count} subjects, "
+          f"mean {cold.mean * 1e3:.2f}ms, max {cold.max * 1e3:.2f}ms")
+    for name in sorted(counters):
+        print(f"  {name} = {counters[name]}")
+
+    report = {
+        "mode": "verify-overhead",
+        "trials": trials,
+        "circuits": names,
+        "aot_seconds": {
+            "verify_off": off,
+            "verify_on": on,
+            "verify_off_suite_median": med["off"],
+            "verify_on_suite_median": med["on"],
+        },
+        "overhead_fraction": overhead,
+        "overhead_fraction_mean": overhead_mean,
+        "cold_verify_seconds": cold.state(),
+        "telemetry_metrics": counters,
+    }
+    if json_path:
+        atomic_write_json(json_path, report)
+        print(f"wrote {json_path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--starts", type=int, default=1)
@@ -223,12 +354,37 @@ def main() -> None:
         help="gradient sweeps per backend in --fused-eval mode",
     )
     parser.add_argument(
+        "--verify-overhead",
+        action="store_true",
+        help="measure the repro.analysis verifier's cost on engine "
+        "compilation: aot_seconds histograms with verification off "
+        "vs on (emits BENCH_verify.json with --json)",
+    )
+    parser.add_argument(
         "--json",
         default="",
         metavar="PATH",
         help="write the results (e.g. BENCH_multistart.json)",
     )
     args = parser.parse_args()
+
+    if args.verify_overhead:
+        # Builds the fixed Figure 5 engine set twice; only --trials
+        # (builds per mode) and --json carry over from the figure suite.
+        if (
+            args.fused_eval
+            or args.circuits
+            or args.skip_baseline
+            or args.starts != parser.get_default("starts")
+        ):
+            parser.error(
+                "--verify-overhead is exclusive with --fused-eval/"
+                "--starts/--circuits/--skip-baseline (use --trials)"
+            )
+        if args.trials < 1:
+            parser.error("--trials must be >= 1")
+        verify_overhead_suite(args.trials, args.json)
+        return
 
     if args.fused_eval:
         # The backend comparison runs fixed 1-3 qubit templates on the

@@ -1,0 +1,183 @@
+"""Verification of serialized engine payloads (the rehydration boundary).
+
+A :class:`~repro.instantiation.SerializedEngine` crosses process
+boundaries by construction: the parent pool pickles it, ships it to
+spawn workers, and the worker rebuilds a live engine by ``exec``-ing
+the generated sources it carries.  A corrupt or stale payload — a
+truncated expression table, a kernel fused from a *different* program,
+a contract that disagrees with the bytecode — would otherwise surface
+only as silently wrong numerics in that worker.
+
+:func:`verify_engine` statically checks the payload before any of it
+runs: the program passes the full bytecode verifier
+(:func:`~repro.analysis.verifier.verify_program`), the shipped
+compiled-expression table matches the program's expression table
+one-to-one, every fused kernel lints cleanly and covers exactly the
+program's dynamic section, and the engine settings (precision,
+strategy, backend, contract) are coherent.  The payload is duck-typed
+so this module depends only on :mod:`repro.tensornet`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .kernel_lint import verify_kernel
+from .report import VerificationReport
+from .verifier import verify_program
+
+__all__ = ["verify_engine"]
+
+_PRECISIONS = ("f32", "f64")
+_STRATEGIES = ("sequential", "batched", "auto")
+_BACKENDS = ("closures", "fused", "auto")
+
+
+def verify_engine(
+    payload: object, subject: str = "serialized engine"
+) -> VerificationReport:
+    """Statically verify a serialized engine payload.
+
+    ``payload`` is duck-typed against
+    :class:`~repro.instantiation.SerializedEngine`: ``program``,
+    ``compiled``, ``precision``, ``strategy``, ``backend``,
+    ``fused_kernels``, ``contract``.
+    """
+    report = VerificationReport(subject=subject)
+    program = getattr(payload, "program", None)
+    if program is None or not hasattr(program, "dynamic_section"):
+        report.add(
+            "engine-payload",
+            f"payload carries no Program (got "
+            f"{type(program).__name__})",
+        )
+        return report
+    report.extend(verify_program(program))
+
+    _check_settings(payload, report)
+    _check_expressions(payload, program, report)
+    _check_contract(payload, program, report)
+    _check_kernels(payload, program, report)
+    return report
+
+
+def _check_settings(
+    payload: object, report: VerificationReport
+) -> None:
+    precision = getattr(payload, "precision", None)
+    if precision not in _PRECISIONS:
+        report.add(
+            "engine-payload",
+            f"precision {precision!r} is not one of {_PRECISIONS}",
+        )
+    strategy = getattr(payload, "strategy", None)
+    if strategy not in _STRATEGIES:
+        report.add(
+            "engine-payload",
+            f"strategy {strategy!r} is not one of {_STRATEGIES}",
+        )
+    backend = getattr(payload, "backend", None)
+    if backend not in _BACKENDS:
+        report.add(
+            "engine-payload",
+            f"backend {backend!r} is not one of {_BACKENDS}",
+        )
+
+
+def _check_expressions(
+    payload: object, program: object, report: VerificationReport
+) -> None:
+    compiled = tuple(getattr(payload, "compiled", ()))
+    expressions = list(getattr(program, "expressions", []))
+    if len(compiled) != len(expressions):
+        report.add(
+            "engine-payload",
+            f"payload ships {len(compiled)} compiled expressions for "
+            f"a program with {len(expressions)} table entries",
+        )
+        return
+    for i, (comp, expr) in enumerate(zip(compiled, expressions)):
+        cshape = tuple(getattr(comp, "shape", ()))
+        eshape = tuple(getattr(expr, "shape", ()))
+        if cshape != eshape:
+            report.add(
+                "engine-payload",
+                f"compiled expression {i} has shape {cshape}, the "
+                f"program's expression table entry has {eshape}",
+                where=f"e{i}",
+            )
+        cnp = getattr(comp, "num_params", None)
+        enp = getattr(expr, "num_params", None)
+        if cnp != enp:
+            report.add(
+                "engine-payload",
+                f"compiled expression {i} takes {cnp} parameters, the "
+                f"table entry takes {enp}",
+                where=f"e{i}",
+            )
+
+
+def _check_contract(
+    payload: object, program: object, report: VerificationReport
+) -> None:
+    from ..tensornet.contract import OutputContract
+
+    raw = getattr(payload, "contract", None)
+    try:
+        contract = OutputContract.coerce(raw)
+    except TypeError as exc:
+        report.add("engine-payload", f"invalid contract: {exc}")
+        return
+    program_key = tuple(getattr(program, "contract", ("full",)))
+    if contract.program_key() != program_key:
+        report.add(
+            "contract",
+            f"engine contract {contract.describe()} does not match the "
+            f"program's compiled contract key {program_key!r}",
+        )
+    if contract.kind == "overlap":
+        dim = math.prod(int(r) for r in getattr(program, "radices", ()))
+        if len(contract.bra) != dim:
+            report.add(
+                "contract",
+                f"overlap bra has {len(contract.bra)} amplitudes, the "
+                f"program's dimension is {dim}",
+            )
+
+
+def _check_kernels(
+    payload: object, program: object, report: VerificationReport
+) -> None:
+    dynamic_len = len(getattr(program, "dynamic_section", []))
+    for entry in tuple(getattr(payload, "fused_kernels", ())):
+        try:
+            key, kernel = entry
+            grad_key, batched_key = (bool(key[0]), bool(key[1]))
+        except (TypeError, ValueError, IndexError):
+            report.add(
+                "engine-payload",
+                f"malformed fused-kernel entry {entry!r}",
+            )
+            continue
+        kreport = verify_kernel(
+            kernel,
+            subject=(
+                f"fused kernel (grad={grad_key}, batched={batched_key})"
+            ),
+        )
+        report.extend(kreport)
+        if bool(getattr(kernel, "batched", None)) != batched_key:
+            report.add(
+                "engine-payload",
+                "fused-kernel cache key says "
+                f"batched={batched_key} but the kernel says "
+                f"batched={getattr(kernel, 'batched', None)}",
+            )
+        n_instr = getattr(kernel, "num_instructions", None)
+        if n_instr != dynamic_len:
+            report.add(
+                "engine-payload",
+                f"fused kernel covers {n_instr} instructions but the "
+                f"program's dynamic section has {dynamic_len} — stale "
+                "kernel from a different program",
+            )

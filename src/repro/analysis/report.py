@@ -1,0 +1,88 @@
+"""Verification outcomes: violations, reports, and the error type.
+
+Every ``repro.analysis`` checker returns a :class:`VerificationReport`
+— a flat list of :class:`Violation` records tagged with a stable
+machine-readable ``code`` (the mutation corpus keys its catch matrix
+by these codes) and a human-pointed message naming the instruction,
+buffer, or source line at fault.  Callers at trust boundaries convert
+a failed report into a :class:`VerificationError` with
+:meth:`VerificationReport.raise_if_failed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Violation",
+    "VerificationReport",
+    "VerificationError",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One verifier finding.
+
+    ``code`` is a stable identifier (e.g. ``"operand-shape"``,
+    ``"use-before-def"``); ``where`` locates the fault (an instruction
+    like ``"dynamic[3]"``, a buffer like ``"b5"``, or a source line
+    like ``"line 12"``); ``message`` explains what is inconsistent.
+    """
+
+    code: str
+    message: str
+    where: str = ""
+
+    def render(self) -> str:
+        location = f" at {self.where}" if self.where else ""
+        return f"[{self.code}]{location}: {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """The outcome of one verification pass over one subject."""
+
+    subject: str
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, code: str, message: str, where: str = "") -> None:
+        self.violations.append(Violation(code, message, where))
+
+    def codes(self) -> set[str]:
+        """The distinct violation codes found (mutation-corpus API)."""
+        return {v.code for v in self.violations}
+
+    def extend(self, other: VerificationReport) -> None:
+        self.violations.extend(other.violations)
+
+    def render(self) -> str:
+        if self.ok:
+            return f"{self.subject}: verified, no violations"
+        lines = [
+            f"{self.subject}: {len(self.violations)} violation(s)"
+        ]
+        lines.extend("  " + v.render() for v in self.violations)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise VerificationError(self)
+
+
+class VerificationError(Exception):
+    """A subject failed static verification.
+
+    Raised at trust boundaries (``compile_network(..., verify=True)``,
+    engine rehydration, kernel binding) instead of letting a corrupt
+    program or payload run and produce silently wrong numerics.  The
+    attached :class:`VerificationReport` lists every violation.
+    """
+
+    def __init__(self, report: VerificationReport) -> None:
+        self.report = report
+        super().__init__(report.render())

@@ -10,7 +10,7 @@ DESIGN.md substitutions).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

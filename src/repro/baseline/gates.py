@@ -9,7 +9,7 @@ file *is the point* — it is the extensibility burden QGL removes.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -15,6 +15,7 @@ the operator asked twice; stop immediately.
 
 from __future__ import annotations
 
+import contextlib
 import signal
 
 __all__ = ["PreemptedError", "PreemptionGuard"]
@@ -73,7 +74,7 @@ class PreemptionGuard:
                 raise KeyboardInterrupt
         self.pending = signum
 
-    def __enter__(self) -> "PreemptionGuard":
+    def __enter__(self) -> PreemptionGuard:
         for signum in self._signals:
             try:
                 self._previous[signum] = signal.signal(
@@ -85,8 +86,6 @@ class PreemptionGuard:
 
     def __exit__(self, *exc_info) -> None:
         for signum, previous in self._previous.items():
-            try:
+            with contextlib.suppress(ValueError, OSError):
                 signal.signal(signum, previous)
-            except (ValueError, OSError):
-                pass
         self._previous.clear()

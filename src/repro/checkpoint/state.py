@@ -153,7 +153,7 @@ class PassCheckpointer:
         self.guard = PreemptionGuard()
         self._last_write = time.monotonic()
 
-    def __enter__(self) -> "PassCheckpointer":
+    def __enter__(self) -> PassCheckpointer:
         self.guard.__enter__()
         return self
 

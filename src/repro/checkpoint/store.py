@@ -29,6 +29,7 @@ logic and the parent-kill chaos harness.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import logging
@@ -81,9 +82,8 @@ def _fsync_directory(directory: str) -> None:
     except OSError:
         return  # platform without directory fds; rename is still atomic
     try:
-        os.fsync(fd)
-    except OSError:
-        pass
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
     finally:
         os.close(fd)
 
@@ -99,10 +99,8 @@ def _atomic_write_bytes(path: str, blob: bytes) -> None:
             os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(tmp)
-        except OSError:
-            pass
         raise
     _fsync_directory(directory)
 

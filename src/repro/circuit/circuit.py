@@ -10,7 +10,7 @@ traditional frameworks.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -64,16 +64,16 @@ class QuditCircuit:
     # Constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def pure(radices: Sequence[int]) -> "QuditCircuit":
+    def pure(radices: Sequence[int]) -> QuditCircuit:
         """Mirror of the paper's ``QuditCircuit::pure(vec![2; n])``."""
         return QuditCircuit(radices)
 
     @staticmethod
-    def qubits(n: int) -> "QuditCircuit":
+    def qubits(n: int) -> QuditCircuit:
         return QuditCircuit([2] * n)
 
     @staticmethod
-    def qutrits(n: int) -> "QuditCircuit":
+    def qutrits(n: int) -> QuditCircuit:
         return QuditCircuit([3] * n)
 
     # ------------------------------------------------------------------
@@ -166,7 +166,7 @@ class QuditCircuit:
     # ------------------------------------------------------------------
     # Template cloning and extension (the synthesis-candidate fast path)
     # ------------------------------------------------------------------
-    def copy(self) -> "QuditCircuit":
+    def copy(self) -> QuditCircuit:
         """A mutation-independent clone sharing the expression table.
 
         Expressions (and their canonical keys) are immutable, so the
@@ -257,7 +257,7 @@ class QuditCircuit:
 
     def append_circuit(
         self,
-        other: "QuditCircuit",
+        other: QuditCircuit,
         location: Sequence[int] | None = None,
         params: Sequence[float] | None = None,
     ) -> tuple[int, ...]:
@@ -444,6 +444,7 @@ class QuditCircuit:
         hoist_constants: bool = True,
         path_strategy: str = "auto",
         contract=None,
+        verify: bool | None = None,
     ) -> Program:
         """AOT-compile to TNVM bytecode.
 
@@ -460,6 +461,7 @@ class QuditCircuit:
             hoist_constants=hoist_constants,
             path_strategy=path_strategy,
             contract=contract,
+            verify=verify,
         )
 
     def get_unitary(

@@ -17,7 +17,7 @@ the cheap constant form.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from collections.abc import Iterable
 
 from ..symbolic import expr as E
 from ..symbolic.expr import Expr

@@ -17,7 +17,7 @@ on-the-fly creation of composite gates from high-level definitions.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -64,7 +64,7 @@ class UnitaryExpression:
         array: np.ndarray,
         radices: Sequence[int] | None = None,
         name: str | None = None,
-    ) -> "UnitaryExpression":
+    ) -> UnitaryExpression:
         """Lift a constant numeric unitary into a (parameterless)
         expression."""
         return UnitaryExpression(
@@ -124,25 +124,25 @@ class UnitaryExpression:
     # ------------------------------------------------------------------
     # Composability (paper section III-B)
     # ------------------------------------------------------------------
-    def dagger(self) -> "UnitaryExpression":
+    def dagger(self) -> UnitaryExpression:
         """The inverse gate (conjugate transpose)."""
         return UnitaryExpression(self.matrix.dagger())
 
-    def conjugate(self) -> "UnitaryExpression":
+    def conjugate(self) -> UnitaryExpression:
         return UnitaryExpression(self.matrix.conjugate())
 
-    def transpose(self) -> "UnitaryExpression":
+    def transpose(self) -> UnitaryExpression:
         return UnitaryExpression(self.matrix.transpose())
 
     def controlled(
         self, control_radix: int = 2, control_levels: Sequence[int] = (1,)
-    ) -> "UnitaryExpression":
+    ) -> UnitaryExpression:
         """Add a control qudit (e.g. ``x().controlled()`` is CNOT)."""
         return UnitaryExpression(
             self.matrix.controlled(control_radix, control_levels)
         )
 
-    def kron(self, other: "UnitaryExpression") -> "UnitaryExpression":
+    def kron(self, other: UnitaryExpression) -> UnitaryExpression:
         """Parallel composition on disjoint qudits.
 
         Parameters of the two operands stay independent: if ``other``
@@ -156,22 +156,22 @@ class UnitaryExpression:
             self.matrix.kron(_disjoint(self.matrix, _mat(other)))
         )
 
-    def __matmul__(self, other: "UnitaryExpression") -> "UnitaryExpression":
+    def __matmul__(self, other: UnitaryExpression) -> UnitaryExpression:
         """Sequential composition (matrix product); clashing parameter
         names in ``other`` are renamed, as in :meth:`kron`."""
         return UnitaryExpression(
             self.matrix @ _disjoint(self.matrix, _mat(other))
         )
 
-    def substitute(self, mapping: Mapping[str, E.Expr]) -> "UnitaryExpression":
+    def substitute(self, mapping: Mapping[str, E.Expr]) -> UnitaryExpression:
         """Substitute parameter expressions (e.g. tie two parameters)."""
         return UnitaryExpression(self.matrix.substitute(mapping))
 
-    def bind(self, values: Mapping[str, float]) -> "UnitaryExpression":
+    def bind(self, values: Mapping[str, float]) -> UnitaryExpression:
         """Fix some parameters to constants."""
         return UnitaryExpression(self.matrix.bind(values))
 
-    def rename_params(self, mapping: Mapping[str, str]) -> "UnitaryExpression":
+    def rename_params(self, mapping: Mapping[str, str]) -> UnitaryExpression:
         return UnitaryExpression(self.matrix.rename_params(mapping))
 
     def __repr__(self) -> str:
@@ -181,7 +181,7 @@ class UnitaryExpression:
         )
 
 
-def _mat(value: "UnitaryExpression | ExpressionMatrix") -> ExpressionMatrix:
+def _mat(value: UnitaryExpression | ExpressionMatrix) -> ExpressionMatrix:
     if isinstance(value, UnitaryExpression):
         return value.matrix
     return value

@@ -370,7 +370,8 @@ class Instantiater:
         cls,
         payload: SerializedEngine,
         cache: ExpressionCache | None = None,
-    ) -> "Instantiater":
+        verify: bool | None = None,
+    ) -> Instantiater:
         """Rebuild an engine from a :class:`SerializedEngine`.
 
         The shipped compiled expressions are seeded into ``cache`` (a
@@ -378,7 +379,19 @@ class Instantiater:
         ``cache.get`` during initialization hits — no differentiation,
         e-graph, or codegen work is repeated.  The rebuilt engine
         produces bit-identical costs and gradients to the original.
+
+        Under ``verify=True`` (or ``REPRO_VERIFY=1``) the payload is
+        statically verified first — bytecode, compiled-expression
+        table, contract, and shipped kernel sources — and a corrupt
+        payload raises a pointed
+        :class:`~repro.analysis.VerificationError` instead of
+        rehydrating into silently wrong numerics.
         """
+        from ..analysis import maybe_verify_engine
+
+        maybe_verify_engine(
+            payload, verify=verify, subject="serialized engine"
+        )
         if cache is None:
             cache = ExpressionCache()
         for compiled in payload.compiled:

@@ -14,8 +14,8 @@ listings are accepted for power and negation.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator
 
 from .errors import QGLSyntaxError
 

@@ -12,7 +12,7 @@ and ``cos`` for uniform processing by the e-graph and the JIT.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from . import expr as E
 from .expr import Expr
@@ -47,20 +47,20 @@ class ComplexExpr:
     # Constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def from_complex(z: complex) -> "ComplexExpr":
+    def from_complex(z: complex) -> ComplexExpr:
         """Lift a numeric complex literal."""
         return ComplexExpr(E.const(z.real), E.const(z.imag))
 
     @staticmethod
-    def from_real(e: Expr | float) -> "ComplexExpr":
+    def from_real(e: Expr | float) -> ComplexExpr:
         return ComplexExpr(e, E.ZERO)
 
     @staticmethod
-    def i() -> "ComplexExpr":
+    def i() -> ComplexExpr:
         return CI
 
     @staticmethod
-    def cis(angle: Expr) -> "ComplexExpr":
+    def cis(angle: Expr) -> ComplexExpr:
         """``e^(i*angle)`` lowered to ``cos(angle) + i*sin(angle)``."""
         return ComplexExpr(E.cos(angle), E.sin(angle))
 
@@ -99,30 +99,30 @@ class ComplexExpr:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
-    def __add__(self, other: "ComplexExpr") -> "ComplexExpr":
+    def __add__(self, other: ComplexExpr) -> ComplexExpr:
         other = _coerce(other)
         return ComplexExpr(self.re + other.re, self.im + other.im)
 
     __radd__ = __add__
 
-    def __sub__(self, other: "ComplexExpr") -> "ComplexExpr":
+    def __sub__(self, other: ComplexExpr) -> ComplexExpr:
         other = _coerce(other)
         return ComplexExpr(self.re - other.re, self.im - other.im)
 
-    def __rsub__(self, other: "ComplexExpr") -> "ComplexExpr":
+    def __rsub__(self, other: ComplexExpr) -> ComplexExpr:
         return _coerce(other).__sub__(self)
 
-    def __neg__(self) -> "ComplexExpr":
+    def __neg__(self) -> ComplexExpr:
         return ComplexExpr(-self.re, -self.im)
 
-    def __mul__(self, other: "ComplexExpr") -> "ComplexExpr":
+    def __mul__(self, other: ComplexExpr) -> ComplexExpr:
         other = _coerce(other)
         a, b, c, d = self.re, self.im, other.re, other.im
         return ComplexExpr(a * c - b * d, a * d + b * c)
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other: "ComplexExpr") -> "ComplexExpr":
+    def __truediv__(self, other: ComplexExpr) -> ComplexExpr:
         other = _coerce(other)
         if other.is_zero:
             raise ZeroDivisionError("complex symbolic division by zero")
@@ -134,17 +134,17 @@ class ComplexExpr:
             (a * c + b * d) / denom, (b * c - a * d) / denom
         )
 
-    def __rtruediv__(self, other: "ComplexExpr") -> "ComplexExpr":
+    def __rtruediv__(self, other: ComplexExpr) -> ComplexExpr:
         return _coerce(other).__truediv__(self)
 
-    def conjugate(self) -> "ComplexExpr":
+    def conjugate(self) -> ComplexExpr:
         return ComplexExpr(self.re, -self.im)
 
-    def scale(self, factor: Expr | float) -> "ComplexExpr":
+    def scale(self, factor: Expr | float) -> ComplexExpr:
         factor = E._coerce(factor)
         return ComplexExpr(self.re * factor, self.im * factor)
 
-    def exp(self) -> "ComplexExpr":
+    def exp(self) -> ComplexExpr:
         """``e^z`` for ``z = x + iy``: ``e^x * (cos y + i sin y)``."""
         if self.im.is_zero:
             return ComplexExpr(E.exp(self.re), E.ZERO)
@@ -153,7 +153,7 @@ class ComplexExpr:
         mag = E.exp(self.re)
         return ComplexExpr(mag * E.cos(self.im), mag * E.sin(self.im))
 
-    def __pow__(self, n: int) -> "ComplexExpr":
+    def __pow__(self, n: int) -> ComplexExpr:
         """Integer powers by repeated multiplication."""
         if not isinstance(n, int):
             raise TypeError("ComplexExpr only supports integer powers")
@@ -172,12 +172,12 @@ class ComplexExpr:
     # ------------------------------------------------------------------
     # Structural operations
     # ------------------------------------------------------------------
-    def substitute(self, mapping: Mapping[str, Expr]) -> "ComplexExpr":
+    def substitute(self, mapping: Mapping[str, Expr]) -> ComplexExpr:
         return ComplexExpr(
             E.substitute(self.re, mapping), E.substitute(self.im, mapping)
         )
 
-    def rename_variables(self, mapping: Mapping[str, str]) -> "ComplexExpr":
+    def rename_variables(self, mapping: Mapping[str, str]) -> ComplexExpr:
         return ComplexExpr(
             E.rename_variables(self.re, mapping),
             E.rename_variables(self.im, mapping),

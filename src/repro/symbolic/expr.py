@@ -29,7 +29,7 @@ kind                  meaning
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
 
 __all__ = [
     "Expr",
@@ -103,7 +103,7 @@ class Expr:
         children: tuple["Expr", ...] = (),
         value: float | None = None,
         name: str | None = None,
-    ) -> "Expr":
+    ) -> Expr:
         if op not in _ARITY:
             raise ValueError(f"unknown expression operator: {op!r}")
         if len(children) != _ARITY[op]:
@@ -145,34 +145,34 @@ class Expr:
     # ------------------------------------------------------------------
     # Python operator sugar
     # ------------------------------------------------------------------
-    def __add__(self, other: "Expr | float") -> "Expr":
+    def __add__(self, other: Expr | float) -> Expr:
         return add(self, _coerce(other))
 
-    def __radd__(self, other: "Expr | float") -> "Expr":
+    def __radd__(self, other: Expr | float) -> Expr:
         return add(_coerce(other), self)
 
-    def __sub__(self, other: "Expr | float") -> "Expr":
+    def __sub__(self, other: Expr | float) -> Expr:
         return sub(self, _coerce(other))
 
-    def __rsub__(self, other: "Expr | float") -> "Expr":
+    def __rsub__(self, other: Expr | float) -> Expr:
         return sub(_coerce(other), self)
 
-    def __mul__(self, other: "Expr | float") -> "Expr":
+    def __mul__(self, other: Expr | float) -> Expr:
         return mul(self, _coerce(other))
 
-    def __rmul__(self, other: "Expr | float") -> "Expr":
+    def __rmul__(self, other: Expr | float) -> Expr:
         return mul(_coerce(other), self)
 
-    def __truediv__(self, other: "Expr | float") -> "Expr":
+    def __truediv__(self, other: Expr | float) -> Expr:
         return div(self, _coerce(other))
 
-    def __rtruediv__(self, other: "Expr | float") -> "Expr":
+    def __rtruediv__(self, other: Expr | float) -> Expr:
         return div(_coerce(other), self)
 
-    def __neg__(self) -> "Expr":
+    def __neg__(self) -> Expr:
         return neg(self)
 
-    def __pow__(self, other: "Expr | float") -> "Expr":
+    def __pow__(self, other: Expr | float) -> Expr:
         return power(self, _coerce(other))
 
     # ------------------------------------------------------------------
@@ -206,7 +206,7 @@ class Expr:
         return to_infix(self)
 
 
-def _coerce(x: "Expr | float | int") -> Expr:
+def _coerce(x: Expr | float | int) -> Expr:
     if isinstance(x, Expr):
         return x
     if isinstance(x, (int, float)):

@@ -15,7 +15,7 @@ axis permutation for free while each element remains a
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -127,7 +127,7 @@ class ExpressionMatrix:
     @staticmethod
     def identity(
         dim: int, radices: Sequence[int] | None = None
-    ) -> "ExpressionMatrix":
+    ) -> ExpressionMatrix:
         rows = [
             [CONE if i == j else CZERO for j in range(dim)]
             for i in range(dim)
@@ -139,7 +139,7 @@ class ExpressionMatrix:
         array: np.ndarray,
         radices: Sequence[int] | None = None,
         name: str | None = None,
-    ) -> "ExpressionMatrix":
+    ) -> ExpressionMatrix:
         """Lift a constant numeric matrix into the IR."""
         array = np.asarray(array)
         rows = [
@@ -182,7 +182,7 @@ class ExpressionMatrix:
     # ------------------------------------------------------------------
     # Algebra
     # ------------------------------------------------------------------
-    def __matmul__(self, other: "ExpressionMatrix") -> "ExpressionMatrix":
+    def __matmul__(self, other: ExpressionMatrix) -> ExpressionMatrix:
         if self.shape[1] != other.shape[0]:
             raise ValueError(
                 f"matmul dimension mismatch: {self.shape} @ {other.shape}"
@@ -206,7 +206,7 @@ class ExpressionMatrix:
             radices=self.radices if self.radices else None,
         )
 
-    def kron(self, other: "ExpressionMatrix") -> "ExpressionMatrix":
+    def kron(self, other: ExpressionMatrix) -> ExpressionMatrix:
         """Kronecker product (paper section III-B)."""
         n1, m1 = self.shape
         n2, m2 = other.shape
@@ -227,7 +227,7 @@ class ExpressionMatrix:
             radices=tuple(self.radices) + tuple(other.radices),
         )
 
-    def hadamard(self, other: "ExpressionMatrix") -> "ExpressionMatrix":
+    def hadamard(self, other: ExpressionMatrix) -> ExpressionMatrix:
         """Element-wise product."""
         if self.shape != other.shape:
             raise ValueError("hadamard requires identical shapes")
@@ -240,7 +240,7 @@ class ExpressionMatrix:
             radices=self.radices if self.radices else None,
         )
 
-    def __add__(self, other: "ExpressionMatrix") -> "ExpressionMatrix":
+    def __add__(self, other: ExpressionMatrix) -> ExpressionMatrix:
         if self.shape != other.shape:
             raise ValueError("addition requires identical shapes")
         out = np.empty(self.shape, dtype=object)
@@ -252,7 +252,7 @@ class ExpressionMatrix:
             radices=self.radices if self.radices else None,
         )
 
-    def scale(self, factor: ComplexExpr | complex | float) -> "ExpressionMatrix":
+    def scale(self, factor: ComplexExpr | complex | float) -> ExpressionMatrix:
         if not isinstance(factor, ComplexExpr):
             factor = ComplexExpr.from_complex(complex(factor))
         out = np.empty(self.shape, dtype=object)
@@ -267,7 +267,7 @@ class ExpressionMatrix:
     # ------------------------------------------------------------------
     # Structural transforms
     # ------------------------------------------------------------------
-    def transpose(self) -> "ExpressionMatrix":
+    def transpose(self) -> ExpressionMatrix:
         return ExpressionMatrix(
             self._data.T.copy(),
             params=self.params,
@@ -275,7 +275,7 @@ class ExpressionMatrix:
             name=_suffix(self.name, "T"),
         )
 
-    def conjugate(self) -> "ExpressionMatrix":
+    def conjugate(self) -> ExpressionMatrix:
         out = np.empty(self.shape, dtype=object)
         for idx in np.ndindex(self.shape):
             out[idx] = self._data[idx].conjugate()
@@ -286,7 +286,7 @@ class ExpressionMatrix:
             name=_suffix(self.name, "conj"),
         )
 
-    def dagger(self) -> "ExpressionMatrix":
+    def dagger(self) -> ExpressionMatrix:
         """Conjugate transpose — the inverse of a unitary gate."""
         return self.conjugate().transpose()
 
@@ -300,7 +300,7 @@ class ExpressionMatrix:
             acc = acc + self._data[i, i]
         return acc
 
-    def substitute(self, mapping: Mapping[str, Expr]) -> "ExpressionMatrix":
+    def substitute(self, mapping: Mapping[str, Expr]) -> ExpressionMatrix:
         """Substitute parameter expressions into every element.
 
         Surviving parameters keep their declared order; variables
@@ -324,7 +324,7 @@ class ExpressionMatrix:
             name=self.name,
         )
 
-    def rename_params(self, mapping: Mapping[str, str]) -> "ExpressionMatrix":
+    def rename_params(self, mapping: Mapping[str, str]) -> ExpressionMatrix:
         out = np.empty(self.shape, dtype=object)
         for idx in np.ndindex(self.shape):
             out[idx] = self._data[idx].rename_variables(mapping)
@@ -336,14 +336,14 @@ class ExpressionMatrix:
             name=self.name,
         )
 
-    def bind(self, values: Mapping[str, float]) -> "ExpressionMatrix":
+    def bind(self, values: Mapping[str, float]) -> ExpressionMatrix:
         """Fix some parameters to numeric constants."""
         mapping = {k: E.const(v) for k, v in values.items()}
         return self.substitute(mapping)
 
     def controlled(
         self, control_radix: int = 2, control_levels: Sequence[int] = (1,)
-    ) -> "ExpressionMatrix":
+    ) -> ExpressionMatrix:
         """Add a control qudit in front of the gate.
 
         The gate applies when the control is in one of
@@ -378,7 +378,7 @@ class ExpressionMatrix:
     def reshape_permute(
         self, shape: Sequence[int], perm: Sequence[int],
         out_shape: tuple[int, int],
-    ) -> "ExpressionMatrix":
+    ) -> ExpressionMatrix:
         """Fused reshape-permute-reshape on the element array.
 
         This mirrors the TNVM ``TRANSPOSE`` instruction symbolically and
@@ -397,7 +397,7 @@ class ExpressionMatrix:
         shape: Sequence[int],
         fixed: Mapping[int, int],
         out_shape: tuple[int, int],
-    ) -> "ExpressionMatrix":
+    ) -> ExpressionMatrix:
         """Fix tensor axes at basis values, symbolically.
 
         The elements are viewed as a tensor of ``shape``; each axis in
@@ -423,7 +423,7 @@ class ExpressionMatrix:
 
     def partial_trace_expr(
         self, row_pairs: Sequence[tuple[int, int]]
-    ) -> "ExpressionMatrix":
+    ) -> ExpressionMatrix:
         """Trace out paired (row-axis, col-axis) index pairs symbolically.
 
         ``row_pairs`` lists (output-qudit position, input-qudit position)
@@ -469,7 +469,7 @@ class ExpressionMatrix:
     # ------------------------------------------------------------------
     # Calculus
     # ------------------------------------------------------------------
-    def differentiate(self, name: str) -> "ExpressionMatrix":
+    def differentiate(self, name: str) -> ExpressionMatrix:
         out = np.empty(self.shape, dtype=object)
         for idx in np.ndindex(self.shape):
             out[idx] = differentiate_complex(self._data[idx], name)
@@ -552,5 +552,3 @@ def _log2_exact(n: int) -> int | None:
     if n < 1 or n & (n - 1):
         return None
     return n.bit_length() - 1
-
-

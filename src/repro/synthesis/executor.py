@@ -55,8 +55,8 @@ from ..circuit.circuit import QuditCircuit
 from ..instantiation.cost import as_target_array, is_state_target
 from ..instantiation.instantiater import Instantiater
 from ..instantiation.pool import EnginePool
-from ..tensornet.contract import OutputContract
 from ..jit.cache import ExpressionCache
+from ..tensornet.contract import OutputContract
 from ..testing.faults import maybe_fault
 from ..utils.statevector import state_prep_infidelity
 from ..utils.unitary import hilbert_schmidt_infidelity
@@ -210,7 +210,7 @@ class CandidateExecutor:
         executors have nothing in flight, so this is just close."""
         self.close()
 
-    def __enter__(self) -> "CandidateExecutor":
+    def __enter__(self) -> CandidateExecutor:
         return self
 
     def __exit__(self, *_exc) -> None:

@@ -15,7 +15,9 @@ descendant candidate with plain ``append_ref`` calls.
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Protocol, Sequence, runtime_checkable
+import contextlib
+from collections.abc import Iterator, Mapping, Sequence
+from typing import Protocol, runtime_checkable
 
 from ..circuit import gates
 from ..circuit.circuit import QuditCircuit
@@ -88,11 +90,9 @@ class _BlockLayerGenerator:
     def _ref(self, circuit: QuditCircuit, matrix: ExpressionMatrix) -> int:
         ref = self._ref_hints.get(id(matrix))
         if ref is not None:
-            try:
+            with contextlib.suppress(IndexError):
                 if circuit.expression(ref) is matrix:
                     return ref
-            except IndexError:
-                pass
         ref = circuit.cache_operation(matrix)
         self._ref_hints[id(matrix)] = ref
         return ref

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import contextlib
 import time
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -188,7 +188,7 @@ class Resynthesizer:
             self._executor.close()
             self._executor = None
 
-    def __enter__(self) -> "Resynthesizer":
+    def __enter__(self) -> Resynthesizer:
         return self
 
     def __exit__(self, *_exc) -> None:

@@ -350,7 +350,7 @@ class SynthesisSearch:
             self._executor.close()
             self._executor = None
 
-    def __enter__(self) -> "SynthesisSearch":
+    def __enter__(self) -> SynthesisSearch:
         return self
 
     def __exit__(self, *_exc) -> None:

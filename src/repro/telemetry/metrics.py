@@ -44,7 +44,7 @@ class Counter:
 
     __slots__ = ("name", "_value", "_parent")
 
-    def __init__(self, name: str, parent: "Counter | None" = None):
+    def __init__(self, name: str, parent: Counter | None = None):
         self.name = name
         self._value = 0
         self._parent = parent
@@ -58,7 +58,7 @@ class Counter:
     def value(self):
         return self._value
 
-    def child(self) -> "Counter":
+    def child(self) -> Counter:
         """A per-instance counter that mirrors into this one."""
         return Counter(self.name, parent=self)
 

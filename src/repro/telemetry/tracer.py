@@ -102,7 +102,7 @@ class Span:
         }
 
     @classmethod
-    def from_state(cls, state: dict) -> "Span":
+    def from_state(cls, state: dict) -> Span:
         span = cls(
             state["name"], state["category"], state["start"],
             state["span_id"], state["parent_id"], state["pid"],
@@ -122,7 +122,7 @@ class _SpanHandle:
 
     __slots__ = ("_tracer", "_span")
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    def __init__(self, tracer: Tracer, span: Span):
         self._tracer = tracer
         self._span = span
 
@@ -136,7 +136,7 @@ class _SpanHandle:
             self._span.args = {}
         self._span.args.update(args)
 
-    def __enter__(self) -> "_SpanHandle":
+    def __enter__(self) -> _SpanHandle:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -152,7 +152,7 @@ class _NoopHandle:
     def set(self, **args) -> None:
         pass
 
-    def __enter__(self) -> "_NoopHandle":
+    def __enter__(self) -> _NoopHandle:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:

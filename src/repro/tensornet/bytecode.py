@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field, fields
+from typing import Any
 
 from ..symbolic.matrix import ExpressionMatrix
 
@@ -42,7 +43,7 @@ class Instruction:
                ``b_buf`` viewed as ``b_shape``.
     HADAMARD   element-wise product, both operands viewed as ``a_shape``.
     TRANSPOSE  fused reshape(``shape``)-permute(``perm``)-reshape of
-               ``in_buf`` into ``out_buf``.
+               ``a_buf`` into ``out_buf``.
     """
 
     opcode: str
@@ -100,7 +101,7 @@ class Program:
     #: the output contract's bytecode identity — ``("full",)`` or
     #: ``("column", j)`` (see :mod:`repro.tensornet.contract`); VMs
     #: shape their output views and backends from this
-    contract: tuple = ("full",)
+    contract: tuple[str | int, ...] = ("full",)
 
     @property
     def dim(self) -> int:
@@ -122,7 +123,7 @@ class Program:
     # ------------------------------------------------------------------
     # Serialization (engine-pool sharing across processes)
     # ------------------------------------------------------------------
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         """Pickle the declared fields only.
 
         The fused program backend caches generated megakernels on the
@@ -145,7 +146,7 @@ class Program:
         return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
 
     @staticmethod
-    def from_bytes(data: bytes) -> "Program":
+    def from_bytes(data: bytes) -> Program:
         """Rehydrate a program serialized with :meth:`to_bytes`."""
         program = pickle.loads(data)
         if not isinstance(program, Program):

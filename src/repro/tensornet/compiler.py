@@ -50,6 +50,7 @@ def compile_network(
     hoist_constants: bool = True,
     path_strategy: str = "auto",
     contract: OutputContract | None = None,
+    verify: bool | None = None,
 ) -> Program:
     """Compile a tensor network into TNVM bytecode.
 
@@ -70,6 +71,13 @@ def compile_network(
     ``path_strategy``
         ``"auto"`` (paper hybrid), ``"optimal"``, ``"greedy"``, or
         ``"sequential"`` (gate-order folding, no pathfinding).
+
+    ``verify=True`` (or the ``REPRO_VERIFY=1`` environment switch)
+    runs the :mod:`repro.analysis` bytecode verifier over the emitted
+    program and raises
+    :class:`~repro.analysis.VerificationError` if the compiler
+    produced inconsistent bytecode; ``verify=False`` overrides the
+    environment.
     """
     if not network.tensors:
         raise ValueError("cannot compile an empty tensor network")
@@ -89,6 +97,11 @@ def compile_network(
             ).generate()
     program.contract = contract.program_key()
     telemetry.metrics().counter("compile.networks").add()
+    from ..analysis import maybe_verify_program
+
+    maybe_verify_program(
+        program, verify=verify, subject="compiled program"
+    )
     return program
 
 
@@ -308,7 +321,9 @@ class _CodeGen:
             return buf
         perm = tuple(child.indices.index(i) for i in target)
         size = math.prod(self.dims[i] for i in child.indices)
-        out = self._new_buffer(size, child.params, constant=self._is_const(child.params))
+        out = self._new_buffer(
+            size, child.params, constant=self._is_const(child.params)
+        )
         self._append(
             child.params,
             Instruction(

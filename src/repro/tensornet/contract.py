@@ -43,7 +43,9 @@ for ``D >= 3``.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
+from typing import Any
 
 from .network import TensorNetwork, TNTensor
 
@@ -64,9 +66,9 @@ class OutputContract:
     kind: str = "full"
     column_index: int = 0
     #: fixed bra amplitudes (``overlap`` only), as a tuple of complex
-    bra: tuple = ()
+    bra: tuple[complex, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(
                 f"contract kind must be one of {_KINDS}, got {self.kind!r}"
@@ -78,17 +80,17 @@ class OutputContract:
 
     # -- factories -----------------------------------------------------
     @classmethod
-    def full_unitary(cls) -> "OutputContract":
+    def full_unitary(cls) -> OutputContract:
         """The whole ``(D, D)`` unitary (the pre-contract behaviour)."""
         return cls("full")
 
     @classmethod
-    def column(cls, index: int = 0) -> "OutputContract":
+    def column(cls, index: int = 0) -> OutputContract:
         """The single column ``U(theta) e_index`` as a ``(D,)`` vector."""
         return cls("column", column_index=int(index))
 
     @classmethod
-    def overlap(cls, bra, column: int = 0) -> "OutputContract":
+    def overlap(cls, bra: Any, column: int = 0) -> OutputContract:
         """The scalar ``<bra| U(theta) e_column``.
 
         ``bra`` is a 1-D amplitude sequence (or a ``Statevector``); it
@@ -103,7 +105,7 @@ class OutputContract:
         )
 
     @classmethod
-    def coerce(cls, value) -> "OutputContract":
+    def coerce(cls, value: object) -> OutputContract:
         """``None`` means full unitary; anything else must already be a
         contract (no implicit string forms — the engine API is typed)."""
         if value is None:
@@ -115,7 +117,7 @@ class OutputContract:
         )
 
     @classmethod
-    def from_program_key(cls, program_key) -> "OutputContract":
+    def from_program_key(cls, program_key: Iterable[Any]) -> OutputContract:
         """The plain contract a compiled program was specialized for."""
         pk = tuple(program_key)
         if pk == ("full",):
@@ -125,7 +127,9 @@ class OutputContract:
         raise ValueError(f"unknown program contract key {pk!r}")
 
     @classmethod
-    def for_program(cls, program, contract=None) -> "OutputContract":
+    def for_program(
+        cls, program: object, contract: OutputContract | None = None
+    ) -> OutputContract:
         """Resolve the contract a VM/engine should run ``program`` under.
 
         With ``contract=None`` the program's own compiled contract is
@@ -155,13 +159,13 @@ class OutputContract:
         """True when the program propagates a vector, not a matrix."""
         return self.kind != "full"
 
-    def program_key(self) -> tuple:
+    def program_key(self) -> tuple[str | int, ...]:
         """The bytecode identity: which compiled program serves this."""
         if self.kind == "full":
             return ("full",)
         return ("column", self.column_index)
 
-    def key(self) -> tuple:
+    def key(self) -> tuple[object, ...]:
         """The full engine-cache identity (includes the bra)."""
         return (self.kind, self.column_index, self.bra)
 
@@ -183,7 +187,7 @@ _FULL = OutputContract("full")
 FULL_UNITARY = _FULL
 
 
-def column_digits(radices, index: int) -> tuple[int, ...]:
+def column_digits(radices: Iterable[int], index: int) -> tuple[int, ...]:
     """Column ``index``'s basis digits, one per wire.
 
     The first wire is most significant (row-major basis ordering, the
@@ -204,7 +208,7 @@ def column_digits(radices, index: int) -> tuple[int, ...]:
 
 
 def specialize_network(
-    network: TensorNetwork, contract
+    network: TensorNetwork, contract: OutputContract | None
 ) -> TensorNetwork:
     """Specialize a circuit network for a column-based contract.
 

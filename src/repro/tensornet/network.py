@@ -13,8 +13,8 @@ contraction tree.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..symbolic.matrix import ExpressionMatrix
 
@@ -34,11 +34,11 @@ class ParamSlot:
     value: float = 0.0
 
     @staticmethod
-    def param(index: int) -> "ParamSlot":
+    def param(index: int) -> ParamSlot:
         return ParamSlot("param", index=index)
 
     @staticmethod
-    def const(value: float) -> "ParamSlot":
+    def const(value: float) -> ParamSlot:
         return ParamSlot("const", value=float(value))
 
 
@@ -102,7 +102,7 @@ class TensorNetwork:
             tuple[ExpressionMatrix, Sequence[int], Sequence[ParamSlot]]
         ],
         num_params: int,
-    ) -> "TensorNetwork":
+    ) -> TensorNetwork:
         """Lower a gate sequence to a network.
 
         ``operations`` are (expression, qudit location, parameter slots)

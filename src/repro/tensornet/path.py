@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = [
     "OPTIMAL_CUTOFF",

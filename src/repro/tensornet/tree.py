@@ -33,8 +33,8 @@ class TreeNode:
     # Leaf payload:
     tensor: TNTensor | None = None
     # Internal payload:
-    left: "TreeNode | None" = None
-    right: "TreeNode | None" = None
+    left: TreeNode | None = None
+    right: TreeNode | None = None
     contracted: tuple[int, ...] = ()
 
     @property

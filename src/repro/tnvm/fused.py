@@ -480,14 +480,21 @@ def generate_fused_kernel(
 # ----------------------------------------------------------------------
 
 
-def bind_fused_kernel(kernel: FusedKernel, plan) -> "callable":
+def bind_fused_kernel(kernel: FusedKernel, plan) -> callable:
     """Compile ``kernel``'s source and bind it to a memory plan.
 
     This is the cheap half of fusion (exactly like
     :func:`~repro.jit.codegen.compile_source` for per-gate writers): a
     kernel shipped from another process rehydrates here without
     re-walking the program.  Returns the hot ``fused_run(params)``.
+
+    Under ``REPRO_VERIFY=1`` the kernel source is linted by
+    :mod:`repro.analysis` before it is ``exec``-ed — this is the trust
+    boundary where shipped source becomes running code.
     """
+    from ..analysis import maybe_lint_kernel
+
+    maybe_lint_kernel(kernel, subject="fused kernel (bind)")
     namespace = writer_globals(kernel.batched)
     namespace["np"] = np
     tag = "batched" if kernel.batched else "scalar"

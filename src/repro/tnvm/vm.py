@@ -17,7 +17,7 @@ dispatch, no compilation.
 from __future__ import annotations
 
 import enum
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ show end-to-end behaviour of synthesized circuits.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -30,7 +30,7 @@ class Statevector:
         amplitudes: np.ndarray,
         radices: Sequence[int],
         normalize: bool = False,
-    ) -> "Statevector":
+    ) -> Statevector:
         """Build a state from an explicit amplitude vector.
 
         The norm check is dtype-aware: a vector normalized in f32
@@ -74,7 +74,7 @@ class Statevector:
         return state
 
     @staticmethod
-    def ghz(num_qudits: int, radix: int = 2) -> "Statevector":
+    def ghz(num_qudits: int, radix: int = 2) -> Statevector:
         """The generalized GHZ state
         ``(|0...0> + |1...1> + ... + |(r-1)...(r-1)>) / sqrt(r)``."""
         if num_qudits < 1:
@@ -86,7 +86,7 @@ class Statevector:
             state.amplitudes[d * stride] = 1.0 / math.sqrt(radix)
         return state
 
-    def apply_unitary(self, unitary: np.ndarray) -> "Statevector":
+    def apply_unitary(self, unitary: np.ndarray) -> Statevector:
         """Apply a full-dimension unitary."""
         out = Statevector(self.radices)
         out.amplitudes = unitary @ self.amplitudes
@@ -94,7 +94,7 @@ class Statevector:
 
     def apply_gate(
         self, matrix: np.ndarray, location: Sequence[int]
-    ) -> "Statevector":
+    ) -> Statevector:
         """Apply a gate matrix to specific qudits."""
         from ..baseline.evaluator import embed
 
@@ -108,7 +108,7 @@ class Statevector:
     def probabilities(self) -> np.ndarray:
         return np.abs(self.amplitudes) ** 2
 
-    def fidelity(self, other: "Statevector") -> float:
+    def fidelity(self, other: Statevector) -> float:
         return float(abs(np.vdot(self.amplitudes, other.amplitudes)) ** 2)
 
     def __repr__(self) -> str:

@@ -1,0 +1,144 @@
+"""Fused-kernel source lint: clean acceptance and rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    KERNEL_VIOLATION_CODES,
+    lint_kernel_source,
+    verify_kernel,
+)
+from repro.analysis.mutations import (
+    MUTATION_CLASSES,
+    NotApplicable,
+    mutate_kernel,
+)
+
+KERNEL_CLASSES = [c for c in MUTATION_CLASSES if c.kind == "kernel"]
+
+
+class TestCleanAcceptance:
+    def test_every_generated_kernel_lints(self, clean_kernels):
+        for (name, grad, batched), kernel in clean_kernels.items():
+            report = lint_kernel_source(
+                kernel.source,
+                batched=batched,
+                subject=f"{name} grad={grad} batched={batched}",
+            )
+            assert report.ok, report.render()
+
+    def test_verify_kernel_duck_types(self, clean_kernels):
+        kernel = clean_kernels[("ansatz-2q", True, False)]
+        report = verify_kernel(kernel)
+        assert report.ok
+        assert "grad=True" in report.subject
+
+    def test_verify_kernel_rejects_non_string_source(self):
+        class Broken:
+            source = b"def make_fused(): pass"
+            batched = False
+            grad = False
+
+        report = verify_kernel(Broken())
+        assert "kernel-structure" in report.codes()
+
+
+class TestMutationRejection:
+    @pytest.mark.parametrize(
+        "cls", KERNEL_CLASSES, ids=[c.name for c in KERNEL_CLASSES]
+    )
+    def test_class_caught_on_every_applicable_kernel(
+        self, clean_kernels, cls
+    ):
+        applicable = 0
+        for i, (key, kernel) in enumerate(
+            sorted(clean_kernels.items())
+        ):
+            rng = np.random.default_rng([13, i])
+            try:
+                mutated = mutate_kernel(cls.name, kernel.source, rng)
+            except NotApplicable:
+                continue
+            applicable += 1
+            report = lint_kernel_source(mutated, batched=key[2])
+            assert not report.ok, (cls.name, key)
+            assert report.codes() & cls.expected_codes, (
+                cls.name,
+                key,
+                report.render(),
+            )
+        assert applicable > 0, f"{cls.name} never applicable"
+
+    def test_expected_codes_are_known(self):
+        for cls in KERNEL_CLASSES:
+            unknown = cls.expected_codes - set(KERNEL_VIOLATION_CODES)
+            assert not unknown, (cls.name, unknown)
+
+
+class TestStructuralChecks:
+    def test_syntax_error_reported_not_raised(self):
+        report = lint_kernel_source("def make_fused(:\n")
+        assert "kernel-syntax" in report.codes()
+
+    def test_rogue_module_level_statement(self):
+        source = (
+            "import os\n"
+            "def make_fused(values, grads, dtype):\n"
+            "    def fused_run(params):\n"
+            "        pass\n"
+            "    return fused_run\n"
+        )
+        report = lint_kernel_source(source)
+        assert "kernel-structure" in report.codes()
+
+    def test_wrong_factory_arity_for_batched(self, clean_kernels):
+        kernel = clean_kernels[("ansatz-2q", False, False)]
+        report = lint_kernel_source(kernel.source, batched=True)
+        assert "kernel-structure" in report.codes()
+
+    def test_non_whitelisted_numpy_attribute(self):
+        source = (
+            "def make_fused(values, grads, dtype):\n"
+            "    i0_v = values[0].reshape(2, 2)\n"
+            "    def fused_run(params):\n"
+            "        np.frombuffer(i0_v)\n"
+            "    return fused_run\n"
+        )
+        report = lint_kernel_source(source)
+        assert "kernel-rogue-callable" in report.codes()
+
+    def test_unbound_name_in_store(self):
+        source = (
+            "def make_fused(values, grads, dtype):\n"
+            "    def fused_run(params):\n"
+            "        i9_v[0, 0] = 1.0\n"
+            "    return fused_run\n"
+        )
+        report = lint_kernel_source(source)
+        assert "kernel-unbound-name" in report.codes()
+
+    def test_copyto_aliasing_destination(self):
+        source = (
+            "def make_fused(values, grads, dtype):\n"
+            "    i0_a = values[0].reshape(2, 2)\n"
+            "    i0_b = values[0].reshape(2, 2)\n"
+            "    def fused_run(params):\n"
+            "        np.copyto(i0_a, i0_b)\n"
+            "    return fused_run\n"
+        )
+        report = lint_kernel_source(source)
+        assert "kernel-out-aliasing" in report.codes()
+
+    def test_distinct_arena_slots_do_not_alias(self):
+        source = (
+            "def make_fused(values, grads, dtype):\n"
+            "    i0_a = values[0].reshape(2, 2)\n"
+            "    i1_b = values[1].reshape(2, 2)\n"
+            "    def fused_run(params):\n"
+            "        np.copyto(i1_b, i0_a)\n"
+            "    return fused_run\n"
+        )
+        report = lint_kernel_source(source)
+        assert report.ok, report.render()

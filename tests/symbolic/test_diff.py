@@ -7,8 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.symbolic import expr as E
-from repro.symbolic.diff import differentiate, differentiate_complex, gradient
 from repro.symbolic.complexexpr import ComplexExpr
+from repro.symbolic.diff import differentiate, differentiate_complex, gradient
 
 X = E.var("x")
 Y = E.var("y")

@@ -5,8 +5,8 @@ import numpy as np
 from repro.circuit import QuditCircuit, build_qsearch_ansatz, gates
 from repro.tensornet.compiler import plan_contraction
 from repro.tensornet.network import TNTensor
-from repro.tensornet.tree import _pretrace_if_needed, build_contraction_tree
 from repro.tensornet.path import find_contraction_path
+from repro.tensornet.tree import _pretrace_if_needed, build_contraction_tree
 
 
 def make_tree(circ):
